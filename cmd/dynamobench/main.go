@@ -1,0 +1,127 @@
+// Command dynamobench regenerates the tables and figures of the DynamoLLM
+// paper's evaluation on the simulated substrate.
+//
+// Usage:
+//
+//	dynamobench [flags] <experiment>...
+//	dynamobench all
+//
+// Experiments: table1 table2 table3 table4 table5 table6
+//
+//	fig1 fig2 fig3 fig6 fig7 fig8 fig9 fig10 fig11 fig12
+//	fig13 fig14 fig15 fig16 cost headline
+//
+// (fig6..fig10 share one six-system cluster simulation.)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"dynamollm/internal/expt"
+)
+
+func main() {
+	peak := flag.Float64("peak", 45, "weekly-peak request rate (req/s) for cluster experiments")
+	seed := flag.Uint64("seed", 42, "random seed")
+	quick := flag.Bool("quick", false, "shrink long experiments (2-day weeks, thinner load)")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: dynamobench [flags] <experiment>... | all\n\nexperiments: %v\n\nflags:\n", names())
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	args := flag.Args()
+	if len(args) == 0 {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	cfg := expt.Default()
+	cfg.PeakRPS = *peak
+	cfg.Seed = *seed
+	cfg.Quick = *quick
+
+	if len(args) == 1 && args[0] == "all" {
+		args = names()
+	}
+
+	// The cluster-hour run feeds five figures; compute it lazily once.
+	var hour []expt.SystemRun
+	getHour := func() []expt.SystemRun {
+		if hour == nil {
+			fmt.Fprintln(os.Stderr, "running the six-system cluster hour...")
+			hour = cfg.ClusterHour()
+		}
+		return hour
+	}
+
+	for _, name := range args {
+		start := time.Now()
+		out, err := run(cfg, name, getHour)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "dynamobench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Println(out)
+		fmt.Fprintf(os.Stderr, "[%s took %v]\n", name, time.Since(start).Round(time.Millisecond))
+	}
+}
+
+func names() []string {
+	return []string{
+		"table1", "table2", "table3", "table4", "table5", "table6",
+		"fig1", "fig2", "fig3", "fig6", "fig7", "fig8", "fig9", "fig10",
+		"fig11", "fig12", "fig13", "fig14", "fig15", "fig16",
+		"cost", "headline",
+	}
+}
+
+func run(cfg expt.Config, name string, hour func() []expt.SystemRun) (string, error) {
+	switch name {
+	case "table1":
+		return expt.RenderTableI(expt.TableI()), nil
+	case "table2":
+		return expt.RenderTableII(expt.TableII()), nil
+	case "table3":
+		return expt.RenderTableIII(expt.TableIII()), nil
+	case "table4":
+		return expt.RenderTableIV(), nil
+	case "table5":
+		return expt.RenderTableV(), nil
+	case "table6":
+		return expt.RenderTableVI(), nil
+	case "fig1":
+		return expt.RenderFig1(cfg.Fig1()), nil
+	case "fig2":
+		return expt.RenderFig2Series(cfg.Fig2()), nil
+	case "fig3":
+		return expt.RenderFig3(expt.Fig3()), nil
+	case "fig6":
+		return expt.RenderSystems(hour()) + expt.RenderFig6Breakdown(hour()), nil
+	case "fig7", "fig8":
+		return expt.RenderSystems(hour()), nil
+	case "fig9":
+		return expt.RenderFig9(hour()), nil
+	case "fig10":
+		return expt.RenderFig10(hour()), nil
+	case "fig11":
+		return expt.RenderFig11(cfg.Fig11()), nil
+	case "fig12":
+		return expt.RenderFig12(cfg.Fig12()), nil
+	case "fig13":
+		return expt.RenderFig13(cfg.Fig13()), nil
+	case "fig14":
+		return expt.RenderFig14(cfg.Fig14()), nil
+	case "fig15":
+		return expt.RenderFig15(cfg.Fig15()), nil
+	case "fig16":
+		return expt.RenderFig16(cfg.Fig16()), nil
+	case "cost":
+		return expt.RenderCost(cfg.CostAnalysis()), nil
+	case "headline":
+		return expt.RenderHeadline(cfg.HeadlineNumbers()), nil
+	}
+	return "", fmt.Errorf("unknown experiment %q (want one of %v)", name, names())
+}

@@ -1,0 +1,92 @@
+// Command tracegen generates and inspects synthetic LLM-inference traces —
+// the stand-in for the paper's Azure Coding/Conversation production traces.
+//
+// Usage:
+//
+//	tracegen -service conversation -days 7 -peak 45 -o week.csv
+//	tracegen -stats week.csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"dynamollm/internal/simclock"
+	"dynamollm/internal/trace"
+	"dynamollm/internal/workload"
+)
+
+func main() {
+	service := flag.String("service", "conversation", "service profile: conversation|coding")
+	days := flag.Float64("days", 7, "trace duration in days")
+	peak := flag.Float64("peak", 45, "weekly-peak request rate (req/s)")
+	seed := flag.Uint64("seed", 42, "random seed")
+	out := flag.String("o", "-", "output CSV path ('-' = stdout)")
+	stats := flag.String("stats", "", "print statistics of an existing trace CSV and exit")
+	flag.Parse()
+
+	if *stats != "" {
+		if err := printStats(*stats); err != nil {
+			fmt.Fprintf(os.Stderr, "tracegen: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	var svc trace.Service
+	switch *service {
+	case "conversation":
+		svc = trace.Conversation
+	case "coding":
+		svc = trace.Coding
+	default:
+		fmt.Fprintf(os.Stderr, "tracegen: unknown service %q\n", *service)
+		os.Exit(2)
+	}
+
+	tr := trace.Generate(trace.GenConfig{
+		Service:  svc,
+		Duration: *days * simclock.Day,
+		PeakRPS:  *peak,
+		Seed:     *seed,
+	})
+
+	w := os.Stdout
+	if *out != "-" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "tracegen: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := tr.WriteCSV(w); err != nil {
+		fmt.Fprintf(os.Stderr, "tracegen: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "wrote %d requests\n", len(tr))
+}
+
+func printStats(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	tr, err := trace.ReadCSV(f)
+	if err != nil {
+		return err
+	}
+	st := tr.Summarize()
+	fmt.Printf("requests:        %d\n", st.Requests)
+	fmt.Printf("total tokens:    %.0f\n", st.TotalTokens)
+	fmt.Printf("peak/avg load:   %.2f\n", st.PeakOverAvg)
+	fmt.Printf("peak/valley:     %.2f\n", st.PeakOverValley)
+	fmt.Println("class shares:")
+	for _, c := range workload.AllClasses {
+		fmt.Printf("  %-3s %5.1f%%\n", c, st.ClassShare[c]*100)
+	}
+	return nil
+}

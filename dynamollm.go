@@ -1,0 +1,175 @@
+// Package dynamollm is a from-scratch Go reproduction of DynamoLLM
+// (Stojkovic et al., HPCA 2025): an energy-management framework for LLM
+// inference clusters that dynamically reconfigures instance counts, tensor
+// parallelism, and GPU frequency to minimize energy under latency SLOs.
+//
+// The package is a facade over the internal implementation:
+//
+//   - Config selects a control system (DynamoLLM or one of the paper's five
+//     baselines) and its parameters;
+//   - NewTrace generates synthetic production-like traces (the substitute
+//     for the paper's Azure Coding/Conversation traces);
+//   - Simulate drives a trace through a simulated GPU cluster under the
+//     chosen system and returns energy, latency, power, carbon, and cost
+//     results;
+//   - Experiments exposes the harness that regenerates every table and
+//     figure in the paper's evaluation.
+//
+// See README.md for a quickstart and DESIGN.md for the system inventory.
+package dynamollm
+
+import (
+	"fmt"
+
+	"dynamollm/internal/core"
+	"dynamollm/internal/energy"
+	"dynamollm/internal/expt"
+	"dynamollm/internal/model"
+	"dynamollm/internal/profile"
+	"dynamollm/internal/simclock"
+	"dynamollm/internal/trace"
+	"dynamollm/internal/workload"
+)
+
+// System names accepted by Config.System, in the paper's order.
+var Systems = core.SystemNames
+
+// Config selects and parameterizes a serving system.
+type Config struct {
+	// System is one of Systems ("dynamollm", "singlepool", ...).
+	System string
+	// Model is a catalog name (default "llama2-70b"); see Models().
+	Model string
+	// Servers is the fleet size (static for baselines, ceiling for
+	// autoscaling systems). Default 12.
+	Servers int
+	// SLOScale relaxes the Table IV SLOs (1 = strict, 2 = 10x, 4 = 20x).
+	SLOScale float64
+	// PredictorAccuracy is the output-length classifier accuracy (0..1].
+	PredictorAccuracy float64
+	// NumPools overrides the pool count (0 = system default).
+	NumPools int
+	// Seed fixes all randomness.
+	Seed uint64
+}
+
+// Trace re-exports the trace type for the public API.
+type Trace = trace.Trace
+
+// Service identifies a synthetic workload family.
+type Service = trace.Service
+
+// The two production services the paper profiles.
+const (
+	Conversation = trace.Conversation
+	Coding       = trace.Coding
+)
+
+// NewTrace generates a synthetic service trace spanning `days` days at the
+// given weekly-peak request rate.
+func NewTrace(svc Service, days float64, peakRPS float64, seed uint64) Trace {
+	return trace.Generate(trace.GenConfig{
+		Service:  svc,
+		Duration: days * simclock.Day,
+		PeakRPS:  peakRPS,
+		Seed:     seed,
+	})
+}
+
+// Models lists the LLM catalog names.
+func Models() []string { return model.Names() }
+
+// Result is the outcome of a simulation.
+type Result struct {
+	// EnergyKWh is total cluster energy.
+	EnergyKWh float64
+	// AvgServers is the mean number of occupied 8-GPU servers.
+	AvgServers float64
+	// SLOAttainment is the fraction of requests meeting their SLOs.
+	SLOAttainment float64
+	// TTFTP50/P99 and TBTP50/P99 are latency percentiles in seconds.
+	TTFTP50, TTFTP99 float64
+	TBTP50, TBTP99   float64
+	// CarbonKg is operational CO2 under the CAISO-like intensity trace.
+	CarbonKg float64
+	// CostUSD is the GPU-hour + electricity bill (§V-F pricing).
+	CostUSD float64
+	// Requests and Squashed count the workload.
+	Requests, Squashed int
+	// Raw exposes the full internal result for advanced consumers.
+	Raw *core.Result
+}
+
+// Simulate runs the trace through a simulated cluster under cfg.
+func Simulate(tr Trace, cfg Config) (*Result, error) {
+	return SimulateWithRepo(tr, cfg, nil)
+}
+
+// Repo caches model profiles across simulations.
+type Repo = profile.Repository
+
+// NewRepo returns an empty profile repository.
+func NewRepo() *Repo { return profile.NewRepository(nil) }
+
+// SimulateWithRepo is Simulate reusing a profile repository.
+func SimulateWithRepo(tr Trace, cfg Config, repo *Repo) (*Result, error) {
+	name := cfg.System
+	if name == "" {
+		name = "dynamollm"
+	}
+	opts, ok := core.SystemByName(name)
+	if !ok {
+		return nil, fmt.Errorf("dynamollm: unknown system %q (want one of %v)", name, Systems)
+	}
+	if cfg.Model != "" {
+		m, err := model.Lookup(cfg.Model)
+		if err != nil {
+			return nil, err
+		}
+		opts.Model = m
+	}
+	if cfg.Servers > 0 {
+		opts.Servers = cfg.Servers
+	}
+	opts.SLOScale = cfg.SLOScale
+	opts.PredictorAccuracy = cfg.PredictorAccuracy
+	if cfg.NumPools > 0 {
+		opts.NumPools = cfg.NumPools
+	}
+	opts.Seed = cfg.Seed
+
+	res := core.RunWithRepo(tr, opts, repo)
+
+	carbon := energy.NewCarbonMeter(energy.CAISO)
+	for _, p := range res.EnergySeries.Points() {
+		carbon.AddEnergy(simclock.Time(p.Time), p.Value)
+	}
+	bill := energy.DefaultCost.Bill(res.GPUSeconds, res.EnergyJ)
+
+	return &Result{
+		EnergyKWh:     res.EnergyKWh(),
+		AvgServers:    res.AvgServers,
+		SLOAttainment: res.SLOAttainment(),
+		TTFTP50:       res.TTFT.Percentile(50),
+		TTFTP99:       res.TTFT.Percentile(99),
+		TBTP50:        res.TBT.Percentile(50),
+		TBTP99:        res.TBT.Percentile(99),
+		CarbonKg:      carbon.Kg(),
+		CostUSD:       bill.Total(),
+		Requests:      res.Requests,
+		Squashed:      res.Squashed,
+		Raw:           res,
+	}, nil
+}
+
+// Experiments returns the evaluation harness with default settings.
+func Experiments() expt.Config { return expt.Default() }
+
+// Classes lists the nine request classes ("SS".."LL").
+func Classes() []string {
+	out := make([]string, 0, workload.NumClasses)
+	for _, c := range workload.AllClasses {
+		out = append(out, c.String())
+	}
+	return out
+}

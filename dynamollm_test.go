@@ -1,0 +1,57 @@
+package dynamollm
+
+import "testing"
+
+func TestSimulateFacade(t *testing.T) {
+	tr := NewTrace(Conversation, 1, 15, 3).Window(9*3600, 9*3600+1800)
+	repo := NewRepo()
+	res, err := SimulateWithRepo(tr, Config{System: "dynamollm", Servers: 5, Seed: 1}, repo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Requests == 0 || res.EnergyKWh <= 0 {
+		t.Fatalf("empty result: %+v", res)
+	}
+	if res.SLOAttainment < 0.85 {
+		t.Errorf("attainment = %v", res.SLOAttainment)
+	}
+	if res.CarbonKg <= 0 || res.CostUSD <= 0 {
+		t.Error("carbon/cost not computed")
+	}
+	if res.Raw == nil {
+		t.Error("raw result missing")
+	}
+}
+
+func TestSimulateDefaultsToDynamoLLM(t *testing.T) {
+	tr := NewTrace(Coding, 0.05, 10, 4)
+	res, err := Simulate(tr, Config{Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Raw.Opts.ScaleFrequency {
+		t.Error("default system should be dynamollm")
+	}
+}
+
+func TestSimulateErrors(t *testing.T) {
+	tr := NewTrace(Coding, 0.01, 5, 1)
+	if _, err := Simulate(tr, Config{System: "bogus"}); err == nil {
+		t.Error("unknown system accepted")
+	}
+	if _, err := Simulate(tr, Config{Model: "gpt-5"}); err == nil {
+		t.Error("unknown model accepted")
+	}
+}
+
+func TestCatalogAccessors(t *testing.T) {
+	if len(Systems) != 6 {
+		t.Errorf("systems = %v", Systems)
+	}
+	if len(Models()) != 6 {
+		t.Errorf("models = %v", Models())
+	}
+	if len(Classes()) != 9 || Classes()[0] != "SS" || Classes()[8] != "LL" {
+		t.Errorf("classes = %v", Classes())
+	}
+}

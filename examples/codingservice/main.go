@@ -1,0 +1,49 @@
+// Coding-service day: the paper's motivating scenario of a strongly
+// diurnal workload (peaks 2.8x average, 34.6x valley). The example runs a
+// full virtual day under each of the paper's six systems and prints the
+// energy breakdown, showing how each knob (pools, instances, sharding,
+// frequency) contributes.
+//
+//	go run ./examples/codingservice
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"dynamollm"
+)
+
+func main() {
+	// Wednesday of a Coding week at a 12 req/s weekly peak.
+	week := dynamollm.NewTrace(dynamollm.Coding, 7, 12, 11)
+	day := week.Window(2*24*3600, 3*24*3600)
+	fmt.Printf("Coding Wednesday: %d requests\n\n", len(day))
+
+	repo := dynamollm.NewRepo()
+	results := map[string]*dynamollm.Result{}
+	for _, system := range dynamollm.Systems {
+		res, err := dynamollm.SimulateWithRepo(day, dynamollm.Config{
+			System:  system,
+			Servers: 4,
+			Seed:    3,
+		}, repo)
+		if err != nil {
+			log.Fatal(err)
+		}
+		results[system] = res
+	}
+	base := results["singlepool"].EnergyKWh
+	multi := results["multipool"].EnergyKWh
+	fmt.Println("system      energy(kWh)  vs SinglePool  vs MultiPool  servers  SLO")
+	for _, system := range dynamollm.Systems {
+		res := results[system]
+		fmt.Printf("%-11s %10.1f     %+8.1f%%     %+8.1f%%  %6.1f  %5.1f%%\n",
+			system, res.EnergyKWh, (res.EnergyKWh/base-1)*100,
+			(res.EnergyKWh/multi-1)*100, res.AvgServers, res.SLOAttainment*100)
+	}
+	fmt.Println("\nAt a small fleet, per-class pools cannot pack below one server per")
+	fmt.Println("pool, so MultiPool and the single-knob systems pay a large")
+	fmt.Println("fragmentation premium; DynamoLLM merges starved pools upward")
+	fmt.Println("(§III-B) and is the only system that beats the consolidated baseline.")
+}

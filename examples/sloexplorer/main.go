@@ -1,0 +1,40 @@
+// SLO explorer: how service-level objectives shape the energy-optimal
+// configuration (§III-A "Service SLO"). For each request class the example
+// prints the least-energy (parallelism, frequency) choice under strict
+// (5x), relaxed (10x), and loose (20x) SLOs at medium load, using the same
+// profile machinery the DynamoLLM controllers consult.
+//
+//	go run ./examples/sloexplorer
+package main
+
+import (
+	"fmt"
+
+	"dynamollm/internal/model"
+	"dynamollm/internal/profile"
+	"dynamollm/internal/workload"
+)
+
+func main() {
+	fmt.Println("Least-energy configuration per class and SLO (Llama2-70B, 2K total TPS)")
+	fmt.Println("class | strict 5x          | relaxed 10x        | loose 20x")
+
+	repo := profile.NewRepository(nil)
+	for _, cls := range workload.AllClasses {
+		in, out := workload.RepresentativeLengths(cls)
+		lambda := 2000.0 / float64(in+out)
+		fmt.Printf("%-5s ", cls)
+		for _, scale := range []float64{1, 2, 4} {
+			p := repo.Get(model.Llama2_70B, scale)
+			choice, ok := p.BestConfig(cls, lambda, 0)
+			if !ok {
+				fmt.Printf("| %-18s ", "infeasible")
+				continue
+			}
+			fmt.Printf("| %-4s @ %-6s %4.0fW ", choice.Key.TP, choice.Key.Freq, choice.Power)
+		}
+		fmt.Println()
+	}
+	fmt.Println("\nLooser SLOs admit smaller parallelism and lower clocks — the")
+	fmt.Println("slack DynamoLLM converts into energy savings (§III-A).")
+}

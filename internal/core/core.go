@@ -1,0 +1,258 @@
+// Package core implements DynamoLLM itself (§IV): the hierarchy of
+// controllers — cluster manager, pool managers, instance managers — that
+// dynamically reconfigures an LLM inference cluster for energy efficiency
+// under latency SLOs, plus the discrete-time cluster simulation that the
+// paper's large-scale evaluation uses (§V-E).
+//
+// The controller hierarchy and its epochs follow §IV-B:
+//
+//	ClusterManager  every 30 min  scale-out/in  (instance counts per pool)
+//	PoolManager     every  5 min  shard-up/down (TP mix within the pool)
+//	InstanceManager every  5 s    scale-up/down (GPU frequency)
+//
+// Baseline systems (SinglePool, MultiPool, ScaleInst, ScaleShard,
+// ScaleFreq) are expressed as Options that disable subsets of the knobs,
+// exactly mirroring §V-A.
+package core
+
+import (
+	"math"
+
+	"dynamollm/internal/gpu"
+	"dynamollm/internal/model"
+	"dynamollm/internal/perfmodel"
+	"dynamollm/internal/predict"
+	"dynamollm/internal/profile"
+	"dynamollm/internal/simclock"
+	"dynamollm/internal/workload"
+)
+
+// Options selects the system variant and its parameters.
+type Options struct {
+	// Model is the served LLM (default Llama2-70B).
+	Model *model.Model
+	// SLOScale relaxes the Table IV SLOs (1 = strict 5x).
+	SLOScale float64
+
+	// NumPools is the number of request-type pools (9 = paper default;
+	// 1 = SinglePool; Fig. 13 sweeps 2..16).
+	NumPools int
+
+	// The three knobs (§V-A). DynamoLLM enables all three.
+	ScaleInstances bool // scale-out/in server instances with load
+	ScaleSharding  bool // re-shard tensor parallelism with load
+	ScaleFrequency bool // DVFS with load
+
+	// ReducedOverheads enables §IV-C's optimizations: snapshot-based VM
+	// start with pre-warming, background NVLink re-sharding with the
+	// matching planner, and the resident frequency monitor. Disabling it
+	// models the naive paths (Table V, Fig. 3).
+	ReducedOverheads bool
+
+	// PredictorAccuracy is the output-length classifier accuracy
+	// (Fig. 11; 1.0 = oracle).
+	PredictorAccuracy float64
+
+	// Servers is the static server count for non-scaling systems; when
+	// ScaleInstances is set it is the fleet ceiling instead.
+	Servers int
+
+	// Epochs (seconds). Zeros take the paper defaults.
+	InstanceEpoch float64 // 5 s
+	PoolEpoch     float64 // 5 min
+	ClusterEpoch  float64 // 30 min
+
+	// Tick is the simulation step (default = InstanceEpoch).
+	Tick float64
+
+	// Seed drives all stochastic elements.
+	Seed uint64
+
+	// WarmPredictor pre-trains the load predictor on the ideal load
+	// curve, as the paper trains on historical weeks.
+	WarmLoad func(t simclock.Time, c workload.Class) float64
+}
+
+// withDefaults fills the paper's defaults.
+func (o Options) withDefaults() Options {
+	if o.Model == nil {
+		o.Model = model.Llama2_70B
+	}
+	if o.SLOScale < 1 {
+		o.SLOScale = 1
+	}
+	if o.NumPools <= 0 {
+		o.NumPools = workload.NumClasses
+	}
+	if o.PredictorAccuracy <= 0 || o.PredictorAccuracy > 1 {
+		o.PredictorAccuracy = 1
+	}
+	if o.Servers <= 0 {
+		o.Servers = 12
+	}
+	if o.InstanceEpoch <= 0 {
+		o.InstanceEpoch = 5
+	}
+	if o.PoolEpoch <= 0 {
+		o.PoolEpoch = 5 * simclock.Minute
+	}
+	if o.ClusterEpoch <= 0 {
+		o.ClusterEpoch = 30 * simclock.Minute
+	}
+	if o.Tick <= 0 {
+		o.Tick = o.InstanceEpoch
+	}
+	return o
+}
+
+// System presets mirroring §V-A.
+
+// SinglePool is the state-of-the-practice baseline: one pool, TP8 at the
+// highest GPU frequency, statically provisioned for peak.
+func SinglePool() Options {
+	return Options{NumPools: 1}
+}
+
+// MultiPool separates request types into per-class pools but keeps every
+// knob static at the highest-performance setting.
+func MultiPool() Options {
+	return Options{NumPools: workload.NumClasses}
+}
+
+// ScaleInst adds instance autoscaling to MultiPool.
+func ScaleInst() Options {
+	o := MultiPool()
+	o.ScaleInstances = true
+	return o
+}
+
+// ScaleShard adds tensor-parallelism scaling to MultiPool.
+func ScaleShard() Options {
+	o := MultiPool()
+	o.ScaleSharding = true
+	return o
+}
+
+// ScaleFreq adds DVFS to MultiPool.
+func ScaleFreq() Options {
+	o := MultiPool()
+	o.ScaleFrequency = true
+	return o
+}
+
+// DynamoLLM enables every knob and the overhead reductions.
+func DynamoLLM() Options {
+	return Options{
+		NumPools:         workload.NumClasses,
+		ScaleInstances:   true,
+		ScaleSharding:    true,
+		ScaleFrequency:   true,
+		ReducedOverheads: true,
+	}
+}
+
+// SystemByName resolves the six evaluated systems.
+func SystemByName(name string) (Options, bool) {
+	switch name {
+	case "singlepool":
+		return SinglePool(), true
+	case "multipool":
+		return MultiPool(), true
+	case "scaleinst":
+		return ScaleInst(), true
+	case "scaleshard":
+		return ScaleShard(), true
+	case "scalefreq":
+		return ScaleFreq(), true
+	case "dynamollm":
+		return DynamoLLM(), true
+	}
+	return Options{}, false
+}
+
+// SystemNames lists the evaluated systems in the paper's presentation
+// order (Fig. 6).
+var SystemNames = []string{
+	"singlepool", "multipool", "scaleinst", "scaleshard", "scalefreq", "dynamollm",
+}
+
+// sharedState bundles what all controllers read.
+type sharedState struct {
+	opts        Options
+	prof        *profile.Profile
+	loadPred    *predict.LoadPredictor
+	lenPred     *predict.LengthPredictor
+	rng         *simclock.RNG
+	nextID      int
+	capCache    map[capKey]float64
+	steadyCache map[steadyKey]perfmodel.Steady
+}
+
+// nextInstanceID hands out unique instance IDs.
+func (s *sharedState) nextInstanceID() int {
+	s.nextID++
+	return s.nextID
+}
+
+// SmoothTTFTSLO interpolates the Table IV TTFT targets between the class
+// representative input lengths (linear in log input length), so capacity
+// estimates for mixed pools vary smoothly with the average mix.
+func SmoothTTFTSLO(inTokens float64) float64 {
+	pts := [3]struct{ in, slo float64 }{{90, 0.250}, {512, 0.400}, {2896, 2.000}}
+	if inTokens <= pts[0].in {
+		return pts[0].slo
+	}
+	if inTokens >= pts[2].in {
+		return pts[2].slo
+	}
+	for i := 0; i < 2; i++ {
+		if inTokens <= pts[i+1].in {
+			f := (math.Log(inTokens) - math.Log(pts[i].in)) /
+				(math.Log(pts[i+1].in) - math.Log(pts[i].in))
+			return pts[i].slo + f*(pts[i+1].slo-pts[i].slo)
+		}
+	}
+	return pts[2].slo
+}
+
+type capKey struct {
+	tp        model.TP
+	freq      gpu.Freq
+	inB, outB int
+}
+
+// shapeCapacity returns the SLO-feasible capacity (req/s) of a
+// configuration serving a request mix with the given average lengths. The
+// bisection result is cached on a geometric grid of shapes.
+func (s *sharedState) shapeCapacity(tp model.TP, f gpu.Freq, mixIn, mixOut float64) float64 {
+	if mixIn < 8 {
+		mixIn = 8
+	}
+	if mixOut < 4 {
+		mixOut = 4
+	}
+	// ~12% geometric buckets.
+	key := capKey{
+		tp:   tp,
+		freq: gpu.Nearest(f),
+		inB:  int(math.Round(math.Log(mixIn) / 0.12)),
+		outB: int(math.Round(math.Log(mixOut) / 0.12)),
+	}
+	if s.capCache == nil {
+		s.capCache = map[capKey]float64{}
+	}
+	if v, ok := s.capCache[key]; ok {
+		return v
+	}
+	inR := math.Exp(float64(key.inB) * 0.12)
+	outR := math.Exp(float64(key.outB) * 0.12)
+	cfg := perfmodel.Config{Model: s.opts.Model, TP: tp, Freq: key.freq}
+	ttft := SmoothTTFTSLO(inR) * s.opts.SLOScale
+	tbt := 0.100 * s.opts.SLOScale
+	cap, ok := perfmodel.MaxLoadShape(cfg, int(inR), int(outR), ttft, tbt)
+	if !ok {
+		cap = 0
+	}
+	s.capCache[key] = cap
+	return cap
+}

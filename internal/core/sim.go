@@ -1,0 +1,977 @@
+package core
+
+import (
+	"math"
+
+	"dynamollm/internal/energy"
+	"dynamollm/internal/gpu"
+	"dynamollm/internal/metrics"
+	"dynamollm/internal/model"
+	"dynamollm/internal/perfmodel"
+	"dynamollm/internal/predict"
+	"dynamollm/internal/profile"
+	"dynamollm/internal/simclock"
+	"dynamollm/internal/solver"
+	"dynamollm/internal/trace"
+	"dynamollm/internal/workload"
+)
+
+// Provisioning latencies (Table V): creating an 8xH100 VM, initializing the
+// distributed environment, downloading weights, configuring the engine and
+// installing weights takes 6-8 minutes on the naive path. DynamoLLM's
+// snapshot start with cluster-cached weights and background pre-warming
+// cuts the critical-path cost to seconds (§IV-C).
+// maxCapFraction is the utilization treated as an instance's usable
+// capacity when deriving it from the measured operating point.
+const maxCapFraction = 0.9
+
+// provisionHeadroom pads peak-based static provisioning (the paper
+// provisions baselines "to handle the peak load").
+const provisionHeadroom = 1.25
+
+// mergeFraction: a pool predicted below this fraction of one
+// highest-performance node's capacity merges into the next-larger pool.
+const mergeFraction = 0.35
+
+const (
+	NaiveProvisionSeconds     = 7 * 60
+	SnapshotProvisionSeconds  = 33 // engine config + weight install only
+	squashWaitFactor          = 6  // wait beyond SLO x this => squash
+	emergencyBacklogThreshold = 1  // seconds of backlog triggers emergency
+)
+
+// Result aggregates everything the evaluation figures need from one run.
+type Result struct {
+	Opts     Options
+	Duration float64
+
+	Requests  int
+	Squashed  int
+	SLOMet    int
+	Completed int
+
+	// EnergyJ is total cluster energy; EnergyByClassJ splits it by the
+	// true class of the work served (Fig. 6's stacking).
+	EnergyJ        float64
+	EnergyByClassJ [workload.NumClasses]float64
+
+	// Latency distributions (Fig. 7).
+	TTFT, TBT *metrics.Dist
+
+	// Power (Fig. 8): cluster power samples per tick and per-GPU samples.
+	ClusterPowerW *metrics.Dist
+	GPUPowerW     *metrics.Dist
+	PowerSeries   *metrics.Series // avg cluster watts per minute
+
+	// Frequency over time (Fig. 9): cluster-wide and per tracked pool.
+	FreqSeries     *metrics.Series
+	PoolFreqSeries map[workload.Class]*metrics.Series
+
+	// Sharding over time (Fig. 10): GPUs per TP degree, cluster and pools.
+	ShardSeries     map[model.TP]*metrics.Series
+	PoolShardSeries map[workload.Class]map[model.TP]*metrics.Series
+	PoolLoadSeries  map[workload.Class]*metrics.Series
+
+	// Energy over time (Fig. 15): joules per 5-minute bucket.
+	EnergySeries *metrics.Series
+
+	// GPU occupancy for the cost model (§V-F).
+	GPUSeconds float64
+	AvgServers float64
+
+	// Reconfiguration counters.
+	Reshards, ScaleOuts, ScaleIns, FreqChanges int
+	Emergencies                                int
+	Merges                                     int
+
+	// Per-true-class SLO accounting (diagnostics and Fig. 6 breakdown).
+	ClassRequests   [workload.NumClasses]int
+	ClassViolations [workload.NumClasses]int
+}
+
+// SLOAttainment returns the fraction of completed requests meeting SLOs.
+func (r *Result) SLOAttainment() float64 {
+	if r.Completed == 0 {
+		return 1
+	}
+	return float64(r.SLOMet) / float64(r.Completed)
+}
+
+// EnergyKWh returns total energy in kWh.
+func (r *Result) EnergyKWh() float64 { return energy.KWh(r.EnergyJ) }
+
+// Cluster is the simulated deployment under one control policy.
+type Cluster struct {
+	opts    Options
+	shared  *sharedState
+	pooling *Pooling
+	pools   []*Pool
+
+	// trackedPools are the classes whose per-pool series are recorded
+	// (Fig. 9/10 track SL, ML, LL).
+	tracked []workload.Class
+}
+
+// trackedClasses are the pools Figs. 9-10 plot.
+var trackedClasses = []workload.Class{workload.SL, workload.ML, workload.LL}
+
+// NewCluster builds a cluster for the options, using the shared profile
+// repository so repeated experiments do not re-profile the model.
+func NewCluster(opts Options, repo *profile.Repository) *Cluster {
+	opts = opts.withDefaults()
+	if repo == nil {
+		repo = profile.NewRepository(nil)
+	}
+	prof := repo.Get(opts.Model, opts.SLOScale)
+	rng := simclock.NewRNG(opts.Seed)
+	s := &sharedState{
+		opts:     opts,
+		prof:     prof,
+		loadPred: predict.NewLoadPredictor(opts.ClusterEpoch),
+		lenPred:  predict.NewLengthPredictor(opts.PredictorAccuracy, rng.Uint64()),
+		rng:      rng,
+	}
+	if opts.WarmLoad != nil {
+		s.loadPred.Warm(opts.WarmLoad)
+	}
+	c := &Cluster{opts: opts, shared: s, pooling: NewPooling(opts.NumPools), tracked: trackedClasses}
+	c.pools = make([]*Pool, c.pooling.NumPools)
+	for i := range c.pools {
+		c.pools[i] = &Pool{Index: i, Classes: c.pooling.poolClasses[i], RepClass: c.pooling.Largest(i)}
+	}
+	return c
+}
+
+// addInstance creates an instance in a pool. booted=false models VM
+// provisioning latency.
+func (c *Cluster) addInstance(p *Pool, tp model.TP, now simclock.Time, booted bool) *Instance {
+	in := newInstance(c.shared.nextInstanceID(), p.Index, tp, c.opts.ReducedOverheads)
+	in.mixIn, in.mixOut = poolRepLengths(p)
+	if !booted {
+		in.state = stateProvisioning
+		d := float64(NaiveProvisionSeconds)
+		if c.opts.ReducedOverheads {
+			d = SnapshotProvisionSeconds
+		}
+		in.readyAt = now + simclock.Time(d)
+	}
+	p.Instances = append(p.Instances, in)
+	return in
+}
+
+// staticProvision sets up the non-autoscaling baselines: every pool gets
+// enough highest-performance instances for its peak load, computed from a
+// pre-pass over the trace (§V-B provisions baselines for peak).
+func (c *Cluster) staticProvision(tr trace.Trace) {
+	peaks := c.peakRates(tr)
+	if c.opts.NumPools == 1 {
+		// SinglePool: the paper fixes the server count (12 by default).
+		for i := 0; i < c.opts.Servers; i++ {
+			c.addInstance(c.pools[0], model.TP8, 0, true)
+		}
+		c.pools[0].targetGPUs = c.opts.Servers * 8
+		return
+	}
+	counts := make([]int, len(c.pools))
+	total := 0
+	for i, p := range c.pools {
+		rep := p.repClass(c.pooling)
+		// Provision for peak with burst headroom: 30-minute-epoch peaks
+		// hide shorter bursts.
+		n := solver.NodesForPeak(c.shared.prof, rep, peaks[p.Index]*provisionHeadroom)
+		if n < 1 {
+			n = 1
+		}
+		counts[i] = n
+		total += n
+	}
+	// The cluster owns opts.Servers machines; static systems use them
+	// all, handing surplus to the busiest pools (per-pool partitioning
+	// can only fragment, never shrink, the fleet — §V-B).
+	for total < c.opts.Servers {
+		best, bestLoad := 0, -1.0
+		for i := range c.pools {
+			if load := peaks[i] / float64(counts[i]); load > bestLoad {
+				best, bestLoad = i, load
+			}
+		}
+		counts[best]++
+		total++
+	}
+	for i, p := range c.pools {
+		for k := 0; k < counts[i]; k++ {
+			c.addInstance(p, model.TP8, 0, true)
+		}
+		p.targetGPUs = counts[i] * 8
+	}
+}
+
+// peakRates computes each pool's peak arrival rate over cluster epochs.
+func (c *Cluster) peakRates(tr trace.Trace) []float64 {
+	epoch := c.opts.ClusterEpoch
+	counts := map[int]map[int]float64{}
+	var counter uint64
+	for _, e := range tr {
+		pool := c.pooling.PoolFor(e.Class(), counter)
+		counter++
+		slot := int(float64(e.At) / epoch)
+		if counts[pool] == nil {
+			counts[pool] = map[int]float64{}
+		}
+		counts[pool][slot]++
+	}
+	peaks := make([]float64, len(c.pools))
+	for pool, slots := range counts {
+		for _, n := range slots {
+			if r := n / epoch; r > peaks[pool] {
+				peaks[pool] = r
+			}
+		}
+	}
+	return peaks
+}
+
+// Run drives the trace through the cluster and returns the aggregated
+// result. The simulation is discrete-time at the instance-manager epoch,
+// matching the paper's large-scale simulator (§V-E).
+func Run(tr trace.Trace, opts Options) *Result {
+	return RunWithRepo(tr, opts, nil)
+}
+
+// RunWithRepo is Run with a shared profile repository (experiments reuse
+// profiles across the six systems).
+func RunWithRepo(tr trace.Trace, opts Options, repo *profile.Repository) *Result {
+	opts = opts.withDefaults()
+	if opts.WarmLoad == nil {
+		// No history supplied: train the load template on the trace
+		// itself, as the paper's predictor trains on prior weeks of the
+		// same periodic workload (§IV-E/[62]).
+		opts.WarmLoad = traceTemplate(tr, opts.ClusterEpoch)
+	}
+	c := NewCluster(opts, repo)
+	opts = c.opts
+	s := c.shared
+
+	res := &Result{
+		Opts:            opts,
+		TTFT:            metrics.NewDist(),
+		TBT:             metrics.NewDist(),
+		ClusterPowerW:   metrics.NewDist(),
+		GPUPowerW:       metrics.NewDist(),
+		PowerSeries:     metrics.NewSeries(simclock.Minute),
+		FreqSeries:      metrics.NewSeries(simclock.Minute),
+		PoolFreqSeries:  map[workload.Class]*metrics.Series{},
+		ShardSeries:     map[model.TP]*metrics.Series{},
+		PoolShardSeries: map[workload.Class]map[model.TP]*metrics.Series{},
+		PoolLoadSeries:  map[workload.Class]*metrics.Series{},
+		EnergySeries:    metrics.NewSeries(5 * simclock.Minute),
+	}
+	for _, cls := range c.tracked {
+		res.PoolFreqSeries[cls] = metrics.NewSeries(simclock.Minute)
+		res.PoolShardSeries[cls] = map[model.TP]*metrics.Series{}
+		res.PoolLoadSeries[cls] = metrics.NewSeries(simclock.Minute)
+		for _, tp := range model.TPChoices {
+			res.PoolShardSeries[cls][tp] = metrics.NewSeries(simclock.Minute)
+		}
+	}
+	for _, tp := range model.TPChoices {
+		res.ShardSeries[tp] = metrics.NewSeries(simclock.Minute)
+	}
+
+	c.staticProvision(tr)
+
+	var end simclock.Time
+	if n := len(tr); n > 0 {
+		end = tr[n-1].At
+	}
+	// Round the horizon up to a whole tick.
+	horizon := simclock.Time(math.Ceil(float64(end)/opts.Tick) * opts.Tick)
+	res.Duration = float64(horizon)
+	if res.Duration == 0 {
+		res.Duration = opts.Tick
+	}
+
+	idx := 0
+	nTicks := int(res.Duration / opts.Tick)
+	lastPoolEpoch := -1
+	lastClusterEpoch := -1
+
+	// Per-tick per-instance assigned request shape accumulators.
+	type assign struct {
+		n        float64
+		inTok    float64
+		outTok   float64
+		requests []*workload.Request
+	}
+
+	for tick := 0; tick < nTicks; tick++ {
+		now := simclock.Time(float64(tick) * opts.Tick)
+		tickEnd := now + simclock.Time(opts.Tick)
+
+		// Lifecycle timers.
+		for _, p := range c.pools {
+			for _, in := range p.Instances {
+				in.settle(now)
+			}
+		}
+
+		// Cluster manager epoch (§IV-B scale-out/in).
+		if ce := int(float64(now) / opts.ClusterEpoch); ce != lastClusterEpoch {
+			lastClusterEpoch = ce
+			if opts.ScaleInstances {
+				c.clusterManagerEpoch(now, res)
+			}
+		}
+		// Pool manager epoch (§IV-B shard-up/down).
+		if pe := int(float64(now) / opts.PoolEpoch); pe != lastPoolEpoch {
+			lastPoolEpoch = pe
+			if opts.ScaleSharding {
+				for _, p := range c.pools {
+					res.Reshards += p.reshardPool(s, now, p.poolRate())
+				}
+			}
+		}
+		// Out-of-band escalation (§IV-D): a pool whose instance managers
+		// raised emergencies re-solves immediately with extra headroom,
+		// using its idle GPU budget. Only the optimized re-sharding path
+		// is fast enough to help; the naive stop-and-reload path would
+		// make the outage worse.
+		if opts.ScaleSharding && opts.ReducedOverheads {
+			for _, p := range c.pools {
+				if p.emergencyFlag && now > p.lastEmergencyReshard+60 {
+					p.lastEmergencyReshard = now
+					res.Reshards += p.reshardPool(s, now, p.poolRate()*1.6)
+					// If the pool's whole GPU budget cannot cover the
+					// demand, escalate to the cluster level: pre-warm an
+					// extra node immediately instead of waiting for the
+					// next 30-minute epoch.
+					if opts.ScaleInstances {
+						capTotal := 0.0
+						for _, in := range p.activeInstances(now) {
+							capTotal += in.capacity(s)
+						}
+						if p.poolRate() > capTotal*0.9 {
+							p.targetGPUs += 8
+							c.addInstance(p, model.TP8, now, false)
+							res.ScaleOuts++
+						}
+					}
+				}
+				p.emergencyFlag = false
+			}
+		}
+
+		// Route this tick's arrivals (§IV-D predictive scheduling).
+		assigned := map[*Instance]*assign{}
+		for idx < len(tr) && tr[idx].At < tickEnd {
+			e := tr[idx]
+			idx++
+			req := &workload.Request{
+				ID:           uint64(idx),
+				Arrival:      e.At,
+				InputTokens:  e.InputTokens,
+				OutputTokens: e.OutputTokens,
+				SLOScale:     opts.SLOScale,
+			}
+			req.PredictedClass = s.lenPred.PredictClass(e.InputTokens, e.OutputTokens)
+			pool := c.route(req, now)
+			// Misprediction handling (§IV-D): the engine discovers the
+			// true length as generation proceeds. An under-predicted
+			// request is re-steered to the correct pool: the wrong pool
+			// has already spent admission and prefill work on it (wasted
+			// energy), and the request pays a detection delay.
+			if trueCls := req.Class(); trueCls != req.PredictedClass {
+				wrongPool := pool
+				if wi := wrongPool.pickInstance(s, now); wi != nil {
+					wi.tickAssigned += 0.5 // wasted prefill/admission work
+				}
+				if trueCls.Output() > req.PredictedClass.Output() {
+					// Under-estimate: move to the correct pool once the
+					// output outgrows the prediction.
+					req.PredictedClass = trueCls
+					pool = c.route(req, now)
+					st := c.instanceSteady(earliestOrAny(wrongPool))
+					req.SteerPenalty = 3*st.IterTime + 0.05
+				}
+				// Over-estimates stay where they were routed: they run
+				// with sub-optimal energy but unaffected latency.
+			}
+			in := pool.pickInstance(s, now)
+			if in == nil {
+				// Every instance is transitioning: queue on the one
+				// that returns first rather than dropping (the request
+				// pays the wait in its TTFT).
+				in = earliestReady(pool)
+			}
+			if in == nil {
+				// Pool has nothing at all: squash (frontend retry, §IV-D).
+				req.Squashed = true
+				res.Squashed++
+				res.Requests++
+				continue
+			}
+			a := assigned[in]
+			if a == nil {
+				a = &assign{}
+				assigned[in] = a
+			}
+			a.n++
+			a.inTok += float64(e.InputTokens)
+			a.outTok += float64(e.OutputTokens)
+			a.requests = append(a.requests, req)
+			in.tickAssigned++
+			pool.arrivalsThisTick++
+			if pool.observedSince == 0 {
+				pool.observedSince = now
+				if pool.observedSince == 0 {
+					pool.observedSince = simclock.Time(1e-9)
+				}
+			}
+			res.Requests++
+		}
+
+		// Update per-instance rates, run instance managers, integrate
+		// energy, and sample latencies.
+		clusterPower := 0.0
+		gpusBusy := 0
+		var freqNum, freqDen float64
+		for _, p := range c.pools {
+			poolGPUs := map[model.TP]float64{}
+			var pFreqNum, pFreqDen float64
+			for _, in := range p.Instances {
+				if in.state == stateOff {
+					continue
+				}
+				a := assigned[in]
+				var tickRate float64
+				if a != nil {
+					tickRate = a.n / opts.Tick
+					in.observeMix(a.inTok/a.n, a.outTok/a.n, a.n)
+				}
+				const ew = 0.3
+				in.rate = ew*tickRate + (1-ew)*in.rate
+				in.tickAssigned = 0
+				if in.rate < 1e-6 {
+					in.rate = 0
+				}
+
+				// Instance manager (§IV-B scale-up/down + §IV-D
+				// emergency handling).
+				c.instanceManager(in, now, res)
+
+				// Steady state for this tick.
+				st := c.instanceSteady(in)
+				if in.rate > 0.01 && st.Rho > 0.01 {
+					in.capEst = in.rate / st.Rho * maxCapFraction
+				} else {
+					in.capEst = 0 // fall back to profile capacity
+				}
+
+				// Backlog dynamics: demand beyond capacity queues.
+				cap := in.capacity(s)
+				if in.rate > cap {
+					in.backlog += (in.rate - cap) * opts.Tick
+				} else if in.backlog > 0 {
+					drain := (cap - in.rate) * opts.Tick
+					in.backlog = math.Max(0, in.backlog-drain)
+				}
+
+				// Energy for the tick.
+				watts := st.Power
+				if in.state == stateProvisioning {
+					watts = gpu.H100.IdlePower * float64(in.TP.GPUs())
+				}
+				clusterPower += watts
+				res.GPUSeconds += float64(in.TP.GPUs()) * opts.Tick
+				gpusBusy += in.TP.GPUs()
+				perGPU := watts / float64(in.TP.GPUs())
+				res.GPUPowerW.Add(perGPU)
+				poolGPUs[in.TP] += float64(in.TP.GPUs())
+				pFreqNum += float64(in.freqCtl.Current()) * float64(in.TP.GPUs())
+				pFreqDen += float64(in.TP.GPUs())
+
+				// Attribute energy to classes by served mix.
+				tickJ := watts * opts.Tick
+				res.EnergyJ += tickJ
+				cls := workload.Classify(int(in.mixIn), int(in.mixOut))
+				res.EnergyByClassJ[cls] += tickJ
+				res.EnergySeries.Accumulate(float64(now), tickJ)
+
+				// Latency samples for requests assigned this tick.
+				if a != nil {
+					c.sampleLatencies(in, st, a.requests, res)
+				}
+			}
+			// Per-pool tracked series.
+			for _, cls := range c.tracked {
+				if c.pooling.classPool[cls] == p.Index {
+					if pFreqDen > 0 {
+						res.PoolFreqSeries[cls].Observe(float64(now), pFreqNum/pFreqDen, pFreqDen)
+					}
+					for _, tp := range model.TPChoices {
+						res.PoolShardSeries[cls][tp].Observe(float64(now), poolGPUs[tp], 1)
+					}
+					res.PoolLoadSeries[cls].Observe(float64(now), float64(p.arrivalsThisTick)/opts.Tick, 1)
+				}
+			}
+			for _, tp := range model.TPChoices {
+				res.ShardSeries[tp].Observe(float64(now), poolGPUs[tp], 1)
+			}
+			freqNum += pFreqNum
+			freqDen += pFreqDen
+
+			// Feed the load predictor.
+			for _, cls := range p.Classes {
+				share := float64(p.arrivalsThisTick) / opts.Tick / float64(len(p.Classes))
+				s.loadPred.Observe(now, cls, share)
+			}
+			p.arrivalsThisTick = 0
+		}
+		res.ClusterPowerW.Add(clusterPower)
+		res.PowerSeries.Observe(float64(now), clusterPower, 1)
+		if freqDen > 0 {
+			res.FreqSeries.Observe(float64(now), freqNum/freqDen, 1)
+		}
+	}
+
+	res.AvgServers = res.GPUSeconds / 8 / res.Duration
+	for _, p := range c.pools {
+		for _, in := range p.Instances {
+			res.FreqChanges += in.freqCtl.Sets()
+		}
+	}
+	return res
+}
+
+// traceTemplate builds a per-class rate function from a trace, bucketed at
+// the cluster epoch.
+func traceTemplate(tr trace.Trace, slotWidth float64) func(simclock.Time, workload.Class) float64 {
+	rates := map[int]*[workload.NumClasses]float64{}
+	for _, e := range tr {
+		slot := int(float64(e.At) / slotWidth)
+		if rates[slot] == nil {
+			rates[slot] = &[workload.NumClasses]float64{}
+		}
+		rates[slot][e.Class()]++
+	}
+	return func(t simclock.Time, c workload.Class) float64 {
+		r := rates[int(float64(t)/slotWidth)]
+		if r == nil {
+			return 0
+		}
+		return r[c] / slotWidth
+	}
+}
+
+// route implements the cluster manager's request steering (§IV-D): predict
+// the class, pick its pool, honour the fragmentation spill fraction, and
+// fall back to the next-larger pool when the target is overloaded.
+func (c *Cluster) route(req *workload.Request, now simclock.Time) *Pool {
+	cls := req.PredictedClass
+	p := c.pools[c.pooling.PoolFor(cls, c.poolCounter(cls))]
+	// Merged pools forward everything to the next-larger pool.
+	for hops := 0; p.merged && hops <= len(c.pools); hops++ {
+		next := c.pooling.NextLarger(p.Index)
+		if next < 0 {
+			break
+		}
+		p = c.pools[next]
+	}
+	// Fragmentation spill-over.
+	if p.spillFrac > 0 && c.shared.rng.Float64() < p.spillFrac {
+		if next := c.pooling.NextLarger(p.Index); next >= 0 {
+			p = c.pools[next]
+		}
+	}
+	// Walk toward larger pools until one can actually serve: first pool
+	// with an instance that has headroom, else the first with any active
+	// instance at all (§IV-D overload fallback).
+	var firstActive *Pool
+	cur := p
+	for hops := 0; hops <= len(c.pools); hops++ {
+		if in := cur.pickInstance(c.shared, now); in != nil {
+			if firstActive == nil {
+				firstActive = cur
+			}
+			if in.rate < in.capacity(c.shared) {
+				return cur
+			}
+		}
+		next := c.pooling.NextLarger(cur.Index)
+		if next < 0 {
+			break
+		}
+		cur = c.pools[next]
+	}
+	if firstActive != nil {
+		return firstActive
+	}
+	return p
+}
+
+func (c *Cluster) poolCounter(cls workload.Class) uint64 {
+	p := c.pools[c.pooling.classPool[cls]]
+	p.rrCounter++
+	return p.rrCounter
+}
+
+// instanceSteady evaluates the instance's operating point for its current
+// mix, rate, and configuration. Results are cached on a geometric grid of
+// (rate, shape) so week-long simulations stay fast.
+func (c *Cluster) instanceSteady(in *Instance) perfmodel.Steady {
+	inTok := avgOr(in.mixIn, 512)
+	outTok := avgOr(in.mixOut, 200)
+	s := c.shared
+	if in.rate <= 0 {
+		return perfmodel.SteadyStateSLO(in.config(c.opts.Model), 0, int(inTok), int(outTok), c.opts.SLOScale)
+	}
+	key := steadyKey{
+		tp:    in.TP,
+		freq:  in.freqCtl.Current(),
+		rateB: int(math.Round(math.Log(in.rate+1e-9) / 0.08)),
+		inB:   int(math.Round(math.Log(inTok) / 0.12)),
+		outB:  int(math.Round(math.Log(outTok) / 0.12)),
+	}
+	if s.steadyCache == nil {
+		s.steadyCache = map[steadyKey]perfmodel.Steady{}
+	}
+	if st, ok := s.steadyCache[key]; ok {
+		return st
+	}
+	cfg := perfmodel.Config{Model: c.opts.Model, TP: key.tp, Freq: key.freq}
+	st := perfmodel.SteadyStateSLO(cfg,
+		math.Exp(float64(key.rateB)*0.08),
+		int(math.Exp(float64(key.inB)*0.12)),
+		int(math.Exp(float64(key.outB)*0.12)),
+		c.opts.SLOScale)
+	s.steadyCache[key] = st
+	return st
+}
+
+type steadyKey struct {
+	tp               model.TP
+	freq             gpu.Freq
+	rateB, inB, outB int
+}
+
+// instanceManager is the 5-second controller (§IV-B scale-up/down and
+// §IV-D emergencies).
+func (c *Cluster) instanceManager(in *Instance, now simclock.Time, res *Result) {
+	if in.state != stateActive {
+		return
+	}
+	s := c.shared
+	cls := workload.Classify(int(avgOr(in.mixIn, 512)), int(avgOr(in.mixOut, 200)))
+
+	// Emergency: queue building up (§IV-D). Ramp to max frequency, then
+	// re-steer backlog to a sibling, finally squash.
+	if in.backlog > emergencyBacklogThreshold*math.Max(in.rate, 1) {
+		c.pools[in.Pool].emergencyFlag = true
+		if !in.emergency {
+			res.Emergencies++
+			in.emergency = true
+		}
+		in.freqCtl.Set(gpu.MaxFreq)
+		// Re-steer: shed half the backlog to the least-loaded sibling.
+		p := c.pools[in.Pool]
+		var target *Instance
+		for _, other := range p.activeInstances(now) {
+			if other != in && other.rate < other.capacity(s)*0.8 {
+				if target == nil || other.rate < target.rate {
+					target = other
+				}
+			}
+		}
+		if target != nil {
+			shed := in.backlog / 2
+			in.backlog -= shed
+			target.backlog += shed
+		} else {
+			// Squash only the backlog portion whose projected wait
+			// (draining at full capacity) still exceeds the threshold.
+			slo := workload.SLOFor(cls).TTFT * c.opts.SLOScale
+			cap := in.capacity(s)
+			overdue := in.backlog - math.Max(cap, 0.2)*slo*squashWaitFactor
+			if overdue > 0 {
+				in.backlog -= overdue
+				res.Squashed += int(overdue)
+			}
+		}
+		return
+	}
+	in.emergency = false
+
+	if !c.opts.ScaleFrequency {
+		in.freqCtl.Set(gpu.MaxFreq)
+		return
+	}
+	// Min-energy feasible frequency for the current load with headroom.
+	f, ok := s.prof.BestFreq(cls, in.TP, in.rate*1.15+0.01)
+	if !ok {
+		f = gpu.MaxFreq
+	}
+	in.freqCtl.Set(f)
+}
+
+// sampleLatencies draws per-request TTFT/TBT from the instance's steady
+// state and judges SLOs against each request's true class.
+func (c *Cluster) sampleLatencies(in *Instance, st perfmodel.Steady, reqs []*workload.Request, res *Result) {
+	rng := c.shared.rng
+	saturated := !st.Feasible || st.IterTime == 0
+	if saturated {
+		// Overloaded instance: it still serves, at its capacity point,
+		// with the excess showing up as backlog-driven queueing below.
+		capRate := in.capacity(c.shared) * 0.9
+		st = perfmodel.SteadyStateSLO(in.config(c.opts.Model), math.Max(capRate, 0.01),
+			int(avgOr(in.mixIn, 512)), int(avgOr(in.mixOut, 200)), c.opts.SLOScale)
+	}
+	for _, req := range reqs {
+		res.Completed++
+		if st.IterTime == 0 {
+			res.TTFT.Add(req.SLO().TTFT * 3)
+			res.TBT.Add(req.SLO().TBT * 2)
+			continue
+		}
+		// TTFT: own prompt's chunks at this instance's pace, plus
+		// queueing wait scaled by backlog.
+		chunks := math.Ceil(float64(req.InputTokens) / perfmodel.PrefillChunk)
+		base := chunks*st.ChunkIterTime + 0.5*st.IterTime
+		wait := st.TTFTMean - (math.Ceil(avgOr(in.mixIn, 512)/perfmodel.PrefillChunk)*st.ChunkIterTime + 0.5*st.IterTime)
+		if wait < 0 {
+			wait = 0
+		}
+		if in.backlog > 0 && in.rate > 0 {
+			wait += in.backlog / math.Max(in.capacity(c.shared), in.rate)
+		}
+		// Tail shaping: exponential-ish spread reaching the modeled P99.
+		u := rng.Float64()
+		tail := 1.0
+		if u > 0.9 {
+			tail = 1 + (u-0.9)/0.09*2.2 // up to ~3.2x at P99+
+		}
+		ttft := base + wait*tail + req.SteerPenalty
+		// TBT: mean iteration time; the tail sees chunk-carrying
+		// iterations.
+		tbt := st.TBTMean * (0.92 + 0.16*rng.Float64())
+		if rng.Float64() < 0.02 {
+			tbt = math.Max(st.TBTP99, tbt)
+		}
+		res.TTFT.Add(ttft)
+		res.TBT.Add(tbt)
+
+		slo := req.SLO()
+		cls := req.Class()
+		res.ClassRequests[cls]++
+		if ttft <= slo.TTFT && tbt <= slo.TBT {
+			res.SLOMet++
+		} else {
+			res.ClassViolations[cls]++
+		}
+	}
+}
+
+// clusterManagerEpoch re-sizes every pool (§IV-B scale-out/in): predicted
+// peak over the epoch, highest-performance per-node capacity, ceil
+// division, fragmentation spill-over, and pre-warmed provisioning.
+func (c *Cluster) clusterManagerEpoch(now simclock.Time, res *Result) {
+	s := c.shared
+	horizon := c.opts.ClusterEpoch
+	total := 0
+	type want struct {
+		pool  *Pool
+		nodes int
+		pl    float64
+		ml    float64
+	}
+	// First pass: raw demand forecast per pool.
+	raw := make([]float64, len(c.pools))
+	for i, p := range c.pools {
+		var pl float64
+		if c.opts.ReducedOverheads {
+			// Predictive sizing: forecast the epoch's peak (§IV-C
+			// pre-warms VMs for the predicted peak).
+			for _, cls := range p.Classes {
+				pl += s.loadPred.PredictPeak(now, horizon, cls)
+			}
+			// Blend with the currently observed rate so a cold or stale
+			// template cannot starve a loaded pool.
+			if cur := p.poolRate() * 1.3; cur > pl {
+				pl = cur
+			}
+		} else {
+			// Naive autoscaling reacts to the current load with a fixed
+			// margin; rising load eats the margin while the Table V
+			// provisioning latency plays out (the ScaleInst tail, §V-B).
+			pl = p.poolRate() * 1.3
+		}
+		raw[i] = pl
+	}
+	// Pool merging (§III-B): a pool whose demand would leave most of a
+	// highest-performance node idle hands its load to the next-larger
+	// pool. Walk smallest-first so merges cascade upward.
+	merged := make([]bool, len(c.pools))
+	if c.opts.ScaleInstances && c.opts.ReducedOverheads && c.opts.NumPools > 1 {
+		for _, cls := range sizeOrder {
+			i := c.pooling.classPool[cls]
+			p := c.pools[i]
+			if merged[i] || p.Index != i {
+				continue
+			}
+			next := c.pooling.NextLarger(i)
+			if next < 0 {
+				continue
+			}
+			ml := s.prof.MaxLoadHighestPerf(p.repClass(c.pooling))
+			if ml > 0 && raw[i] < mergeFraction*ml {
+				merged[i] = true
+				res.Merges++
+				raw[next] += raw[i]
+				raw[i] = 0
+			}
+		}
+	}
+	wants := make([]want, 0, len(c.pools))
+	for i, p := range c.pools {
+		p.merged = merged[i]
+		pl := raw[i]
+		if p.merged {
+			wants = append(wants, want{pool: p, nodes: 0})
+			continue
+		}
+		if pl <= 0 {
+			// Cold start with no signal: keep the current allocation.
+			continue
+		}
+		// Per-node capacity at the highest-performance configuration,
+		// evaluated on the pool's LIVE mix when available (heavy tails
+		// within a class make the class representative optimistic).
+		rep := p.repClass(c.pooling)
+		ml := s.prof.MaxLoadHighestPerf(rep)
+		if mi, mo := p.meanMixIn(), p.meanMixOut(); mi > 0 {
+			if live := s.shapeCapacity(model.TP8, gpu.MaxFreq, mi, mo); live > 0 && live < ml {
+				ml = live
+			}
+		}
+		nodes := 1
+		if ml > 0 {
+			nodes = int(math.Ceil(pl * provisionHeadroom / ml))
+		}
+		if nodes < 1 {
+			nodes = 1
+		}
+		wants = append(wants, want{pool: p, nodes: nodes, pl: pl, ml: ml})
+		total += nodes
+	}
+
+	// Fleet ceiling: shrink proportionally if over budget (merged pools
+	// stay at zero).
+	if c.opts.Servers > 0 && total > c.opts.Servers {
+		scale := float64(c.opts.Servers) / float64(total)
+		for i := range wants {
+			if wants[i].nodes > 0 {
+				wants[i].nodes = int(math.Max(1, math.Floor(float64(wants[i].nodes)*scale)))
+			}
+		}
+	}
+
+	for i := range wants {
+		w := &wants[i]
+		p := w.pool
+		// Fragmentation handling (§IV-B): if the pool is overprovisioned
+		// by more than half a node, hand one node back and spill the
+		// uncovered load fraction to the next-larger pool.
+		p.spillFrac = 0
+		if w.nodes >= 2 && w.ml > 0 {
+			slack := float64(w.nodes)*w.ml - w.pl
+			if slack > 0.5*w.ml && c.pooling.NextLarger(p.Index) >= 0 {
+				w.nodes--
+				uncovered := w.pl - float64(w.nodes)*w.ml
+				if uncovered > 0 {
+					p.spillFrac = uncovered / w.pl
+				}
+			}
+		}
+		c.resizePool(p, w.nodes, now, res)
+	}
+}
+
+// resizePool adjusts a pool's node count, pre-warming on scale-out and
+// draining on scale-in.
+func (c *Cluster) resizePool(p *Pool, nodes int, now simclock.Time, res *Result) {
+	p.targetGPUs = nodes * 8
+	cur := 0
+	for _, in := range p.Instances {
+		if in.state != stateOff {
+			cur++
+		}
+	}
+	// The pool may be sharded into multiple instances per node; compare
+	// GPU totals instead of instance counts.
+	curGPUs := p.gpusInUse()
+	wantGPUs := nodes * 8
+	for curGPUs < wantGPUs {
+		// Pre-warmed VMs come up fast under ReducedOverheads; the naive
+		// path pays the full Table V latency.
+		c.addInstance(p, model.TP8, now, false)
+		curGPUs += 8
+		res.ScaleOuts++
+	}
+	for curGPUs > wantGPUs {
+		victim := c.leastLoaded(p)
+		if victim == nil {
+			break
+		}
+		if !p.merged && len(p.activeInstances(now))+provisioningCount(p) <= 1 {
+			break
+		}
+		curGPUs -= victim.TP.GPUs()
+		victim.state = stateOff
+		res.ScaleIns++
+	}
+	_ = cur
+}
+
+func provisioningCount(p *Pool) int {
+	n := 0
+	for _, in := range p.Instances {
+		if in.state == stateProvisioning {
+			n++
+		}
+	}
+	return n
+}
+
+// earliestOrAny returns some live instance for state queries.
+func earliestOrAny(p *Pool) *Instance {
+	if in := earliestReady(p); in != nil {
+		return in
+	}
+	return &Instance{TP: model.TP8, freqCtl: gpu.NewFreqController(true), throughputFactor: 1, mixIn: 512, mixOut: 187}
+}
+
+// earliestReady returns the non-off instance that will serve soonest.
+func earliestReady(p *Pool) *Instance {
+	var best *Instance
+	for _, in := range p.Instances {
+		if in.state == stateOff {
+			continue
+		}
+		if best == nil || in.readyAt < best.readyAt {
+			best = in
+		}
+	}
+	return best
+}
+
+func (c *Cluster) leastLoaded(p *Pool) *Instance {
+	var victim *Instance
+	for _, in := range p.Instances {
+		if in.state == stateOff {
+			continue
+		}
+		if victim == nil || in.rate < victim.rate {
+			victim = in
+		}
+	}
+	return victim
+}

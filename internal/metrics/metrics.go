@@ -1,0 +1,208 @@
+// Package metrics provides the measurement utilities the experiments use:
+// exact percentile estimation over recorded samples, time-bucketed series,
+// and weighted time-averages for power accounting.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Dist collects samples and answers percentile queries exactly (sorting on
+// demand). The evaluation figures report P50/P90/P99 latencies and powers.
+type Dist struct {
+	samples []float64
+	sorted  bool
+}
+
+// NewDist returns an empty distribution.
+func NewDist() *Dist { return &Dist{} }
+
+// Add records a sample.
+func (d *Dist) Add(v float64) {
+	d.samples = append(d.samples, v)
+	d.sorted = false
+}
+
+// N returns the sample count.
+func (d *Dist) N() int { return len(d.samples) }
+
+// Percentile returns the p-th percentile (0 <= p <= 100) using linear
+// interpolation between closest ranks. It returns 0 for an empty
+// distribution.
+func (d *Dist) Percentile(p float64) float64 {
+	n := len(d.samples)
+	if n == 0 {
+		return 0
+	}
+	if !d.sorted {
+		sort.Float64s(d.samples)
+		d.sorted = true
+	}
+	if p <= 0 {
+		return d.samples[0]
+	}
+	if p >= 100 {
+		return d.samples[n-1]
+	}
+	rank := p / 100 * float64(n-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return d.samples[lo]
+	}
+	frac := rank - float64(lo)
+	return d.samples[lo]*(1-frac) + d.samples[hi]*frac
+}
+
+// Mean returns the arithmetic mean, or 0 when empty.
+func (d *Dist) Mean() float64 {
+	if len(d.samples) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, v := range d.samples {
+		sum += v
+	}
+	return sum / float64(len(d.samples))
+}
+
+// Max returns the largest sample, or 0 when empty.
+func (d *Dist) Max() float64 {
+	if len(d.samples) == 0 {
+		return 0
+	}
+	m := d.samples[0]
+	for _, v := range d.samples {
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+// Summary is the P50/P90/P99 triple the paper's figures report.
+type Summary struct {
+	P50, P90, P99 float64
+}
+
+// Summarize returns the standard percentile triple.
+func (d *Dist) Summarize() Summary {
+	return Summary{
+		P50: d.Percentile(50),
+		P90: d.Percentile(90),
+		P99: d.Percentile(99),
+	}
+}
+
+func (s Summary) String() string {
+	return fmt.Sprintf("p50=%.4g p90=%.4g p99=%.4g", s.P50, s.P90, s.P99)
+}
+
+// --- Time series -------------------------------------------------------------
+
+// Series accumulates (time, value) observations into fixed-width buckets,
+// averaging within each bucket. Used for the "X over time" figures
+// (frequency, GPU counts, energy per interval, carbon).
+type Series struct {
+	Width  float64 // bucket width in seconds
+	sums   map[int]float64
+	counts map[int]float64
+}
+
+// NewSeries returns a series with the given bucket width in seconds.
+func NewSeries(width float64) *Series {
+	if width <= 0 {
+		panic("metrics: non-positive bucket width")
+	}
+	return &Series{Width: width, sums: map[int]float64{}, counts: map[int]float64{}}
+}
+
+// Observe records value at time t (seconds), weighted by w.
+func (s *Series) Observe(t, value, w float64) {
+	if w <= 0 {
+		return
+	}
+	b := int(t / s.Width)
+	s.sums[b] += value * w
+	s.counts[b] += w
+}
+
+// Accumulate adds value into the bucket at time t without averaging
+// (for additive quantities like energy per interval).
+func (s *Series) Accumulate(t, value float64) {
+	b := int(t / s.Width)
+	s.sums[b] += value
+	if _, ok := s.counts[b]; !ok {
+		s.counts[b] = 0
+	}
+}
+
+// Point is one bucketed observation.
+type Point struct {
+	Time  float64 // bucket start, seconds
+	Value float64
+}
+
+// Points returns the bucketed series in time order. Averaged buckets divide
+// by weight; accumulated buckets report raw sums.
+func (s *Series) Points() []Point {
+	keys := make([]int, 0, len(s.sums))
+	for k := range s.sums {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	pts := make([]Point, 0, len(keys))
+	for _, k := range keys {
+		v := s.sums[k]
+		if c := s.counts[k]; c > 0 {
+			v /= c
+		}
+		pts = append(pts, Point{Time: float64(k) * s.Width, Value: v})
+	}
+	return pts
+}
+
+// Total returns the sum over all buckets of the raw sums (meaningful for
+// accumulated series).
+func (s *Series) Total() float64 {
+	t := 0.0
+	for _, v := range s.sums {
+		t += v
+	}
+	return t
+}
+
+// --- Time-weighted average ---------------------------------------------------
+
+// TimeAvg tracks the time-weighted average of a piecewise-constant signal
+// (e.g., instantaneous power, GPU count).
+type TimeAvg struct {
+	lastT   float64
+	lastV   float64
+	area    float64
+	elapsed float64
+	started bool
+}
+
+// Set records that the signal takes value v from time t onward.
+func (a *TimeAvg) Set(t, v float64) {
+	if a.started && t > a.lastT {
+		a.area += a.lastV * (t - a.lastT)
+		a.elapsed += t - a.lastT
+	}
+	a.lastT, a.lastV, a.started = t, v, true
+}
+
+// Finish closes the signal at time t and returns the time-weighted average.
+func (a *TimeAvg) Finish(t float64) float64 {
+	a.Set(t, a.lastV)
+	if a.elapsed == 0 {
+		return a.lastV
+	}
+	return a.area / a.elapsed
+}
+
+// Area returns the integral so far (e.g., joules if the signal is watts).
+func (a *TimeAvg) Area() float64 { return a.area }

@@ -1,0 +1,198 @@
+package metrics
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"dynamollm/internal/simclock"
+)
+
+func TestPercentileExactRanks(t *testing.T) {
+	d := NewDist()
+	for i := 1; i <= 100; i++ {
+		d.Add(float64(i))
+	}
+	cases := []struct{ p, want float64 }{
+		{0, 1}, {100, 100}, {50, 50.5}, {99, 99.01},
+	}
+	for _, c := range cases {
+		if got := d.Percentile(c.p); math.Abs(got-c.want) > 0.011 {
+			t.Errorf("P%v = %v, want ~%v", c.p, got, c.want)
+		}
+	}
+}
+
+func TestPercentileEmpty(t *testing.T) {
+	d := NewDist()
+	if d.Percentile(50) != 0 || d.Mean() != 0 || d.Max() != 0 {
+		t.Error("empty dist should return zeros")
+	}
+}
+
+func TestPercentileSingle(t *testing.T) {
+	d := NewDist()
+	d.Add(42)
+	for _, p := range []float64{0, 50, 99, 100} {
+		if d.Percentile(p) != 42 {
+			t.Errorf("P%v of single sample = %v, want 42", p, d.Percentile(p))
+		}
+	}
+}
+
+// Property: percentile agrees with a sort-based reference and is monotone.
+func TestPercentileAgainstReference(t *testing.T) {
+	f := func(seed uint64, n uint8) bool {
+		r := simclock.NewRNG(seed)
+		count := int(n%50) + 2
+		d := NewDist()
+		vals := make([]float64, count)
+		for i := range vals {
+			vals[i] = r.Float64() * 100
+			d.Add(vals[i])
+		}
+		sort.Float64s(vals)
+		prev := math.Inf(-1)
+		for p := 0.0; p <= 100; p += 7 {
+			got := d.Percentile(p)
+			if got < prev-1e-12 {
+				return false // not monotone in p
+			}
+			prev = got
+			if got < vals[0]-1e-12 || got > vals[count-1]+1e-12 {
+				return false // outside sample range
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAddAfterQueryResorts(t *testing.T) {
+	d := NewDist()
+	d.Add(5)
+	_ = d.Percentile(50)
+	d.Add(1)
+	if got := d.Percentile(0); got != 1 {
+		t.Errorf("P0 after late insert = %v, want 1", got)
+	}
+}
+
+func TestMeanMax(t *testing.T) {
+	d := NewDist()
+	for _, v := range []float64{2, 4, 9} {
+		d.Add(v)
+	}
+	if d.Mean() != 5 {
+		t.Errorf("Mean = %v, want 5", d.Mean())
+	}
+	if d.Max() != 9 {
+		t.Errorf("Max = %v, want 9", d.Max())
+	}
+	if d.N() != 3 {
+		t.Errorf("N = %v, want 3", d.N())
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	d := NewDist()
+	for i := 0; i < 1000; i++ {
+		d.Add(float64(i))
+	}
+	s := d.Summarize()
+	if s.P50 < 490 || s.P50 > 510 || s.P99 < 980 || s.P99 > 999 {
+		t.Errorf("summary = %+v", s)
+	}
+	if s.String() == "" {
+		t.Error("empty String()")
+	}
+}
+
+func TestSeriesAveraging(t *testing.T) {
+	s := NewSeries(10)
+	s.Observe(1, 100, 1)
+	s.Observe(5, 200, 1)
+	s.Observe(15, 50, 1)
+	pts := s.Points()
+	if len(pts) != 2 {
+		t.Fatalf("points = %v", pts)
+	}
+	if pts[0].Time != 0 || pts[0].Value != 150 {
+		t.Errorf("bucket 0 = %+v, want (0, 150)", pts[0])
+	}
+	if pts[1].Time != 10 || pts[1].Value != 50 {
+		t.Errorf("bucket 1 = %+v, want (10, 50)", pts[1])
+	}
+}
+
+func TestSeriesWeighted(t *testing.T) {
+	s := NewSeries(10)
+	s.Observe(0, 100, 3)
+	s.Observe(0, 200, 1)
+	if got := s.Points()[0].Value; got != 125 {
+		t.Errorf("weighted avg = %v, want 125", got)
+	}
+	s.Observe(0, 999, 0) // zero weight ignored
+	if got := s.Points()[0].Value; got != 125 {
+		t.Errorf("zero weight changed avg to %v", got)
+	}
+}
+
+func TestSeriesAccumulate(t *testing.T) {
+	s := NewSeries(60)
+	s.Accumulate(10, 5)
+	s.Accumulate(20, 7)
+	s.Accumulate(70, 1)
+	pts := s.Points()
+	if pts[0].Value != 12 || pts[1].Value != 1 {
+		t.Errorf("accumulated = %v", pts)
+	}
+	if s.Total() != 13 {
+		t.Errorf("total = %v, want 13", s.Total())
+	}
+}
+
+func TestSeriesPanicsOnBadWidth(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewSeries(0)
+}
+
+func TestTimeAvg(t *testing.T) {
+	var a TimeAvg
+	a.Set(0, 100)
+	a.Set(10, 200)      // 100 W for 10 s
+	a.Set(30, 0)        // 200 W for 20 s
+	avg := a.Finish(40) // 0 W for 10 s
+	want := (100*10 + 200*20 + 0*10) / 40.0
+	if math.Abs(avg-want) > 1e-9 {
+		t.Errorf("avg = %v, want %v", avg, want)
+	}
+	if math.Abs(a.Area()-5000) > 1e-9 {
+		t.Errorf("area = %v, want 5000", a.Area())
+	}
+}
+
+func TestTimeAvgNoSamples(t *testing.T) {
+	var a TimeAvg
+	if got := a.Finish(10); got != 0 {
+		t.Errorf("empty TimeAvg avg = %v, want 0", got)
+	}
+}
+
+func TestTimeAvgOutOfOrderIgnored(t *testing.T) {
+	var a TimeAvg
+	a.Set(10, 100)
+	a.Set(5, 999) // earlier time: no area accrues, value replaces
+	avg := a.Finish(15)
+	// From t=5 (last set) to 15: value 999 for 10s.
+	if math.Abs(avg-999) > 1e-9 {
+		t.Errorf("avg = %v", avg)
+	}
+}

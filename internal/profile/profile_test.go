@@ -1,0 +1,252 @@
+package profile
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	"dynamollm/internal/gpu"
+	"dynamollm/internal/model"
+	"dynamollm/internal/workload"
+)
+
+var (
+	prof70     *Profile
+	prof70Once sync.Once
+)
+
+// p70 builds the Llama2-70B profile once for the whole test package
+// (building touches 9 classes x 3 TPs x 8 freqs x 6 loads).
+func p70(t *testing.T) *Profile {
+	t.Helper()
+	prof70Once.Do(func() {
+		prof70 = Build(model.Llama2_70B, 1, nil)
+	})
+	return prof70
+}
+
+func TestBuildCoversKnobSpace(t *testing.T) {
+	p := p70(t)
+	for _, cls := range workload.AllClasses {
+		for _, tp := range model.TPChoices {
+			for _, f := range gpu.Ladder() {
+				if p.Entry(Key{Class: cls, TP: tp, Freq: f}) == nil {
+					t.Fatalf("missing entry %v/%v/%v", cls, tp, f)
+				}
+			}
+		}
+	}
+}
+
+func TestEntrySnapsFrequency(t *testing.T) {
+	p := p70(t)
+	a := p.Entry(Key{Class: workload.MM, TP: model.TP8, Freq: 1234})
+	b := p.Entry(Key{Class: workload.MM, TP: model.TP8, Freq: 1200})
+	if a != b {
+		t.Error("off-ladder frequency did not snap to nearest entry")
+	}
+}
+
+func TestMaxLoadOrdering(t *testing.T) {
+	p := p70(t)
+	// Capacity grows with parallelism at max frequency.
+	var prev float64
+	for _, tp := range model.TPChoices {
+		e := p.Entry(Key{Class: workload.MM, TP: tp, Freq: gpu.MaxFreq})
+		if e.MaxLoad < prev {
+			t.Errorf("MaxLoad not increasing with TP: %v at %v", e.MaxLoad, tp)
+		}
+		prev = e.MaxLoad
+	}
+	// Capacity grows with frequency at fixed TP8.
+	prev = 0
+	for _, f := range gpu.Ladder() {
+		e := p.Entry(Key{Class: workload.MM, TP: model.TP8, Freq: f})
+		if e.MaxLoad < prev {
+			t.Errorf("MaxLoad not increasing with freq at %v", f)
+		}
+		prev = e.MaxLoad
+	}
+}
+
+func TestPowerTablesMonotoneAtFeasibleLoads(t *testing.T) {
+	p := p70(t)
+	e := p.Entry(Key{Class: workload.MM, TP: model.TP8, Freq: 1600})
+	prev := 0.0
+	for _, frac := range []float64{0, 0.2, 0.5, 0.9} {
+		w := e.Power.At(e.MaxLoad * frac)
+		if w < prev {
+			t.Errorf("power not monotone in load at %v: %v < %v", frac, w, prev)
+		}
+		prev = w
+	}
+	if e.Power.At(0) != e.IdlePower {
+		t.Errorf("zero-load power = %v, want idle %v", e.Power.At(0), e.IdlePower)
+	}
+}
+
+func TestInfeasibleEntry(t *testing.T) {
+	p := p70(t)
+	// MM at TP2 cannot serve the medium system load (Table I): its
+	// capacity is a small fraction of TP4's, and the 2K-TPS lambda
+	// (2.81 req/s) is beyond it.
+	e2 := p.Entry(Key{Class: workload.MM, TP: model.TP2, Freq: gpu.MaxFreq})
+	e4 := p.Entry(Key{Class: workload.MM, TP: model.TP4, Freq: gpu.MaxFreq})
+	if e2.MaxLoad >= e4.MaxLoad/2 {
+		t.Errorf("MM/TP2 capacity %v not far below TP4 %v", e2.MaxLoad, e4.MaxLoad)
+	}
+	if e2.Feasible(2.81) {
+		t.Error("MM/TP2 should be infeasible at the 2K-TPS lambda")
+	}
+	// MM at TP2 and the lowest clock only works at vanishing load, where
+	// the rare long prefill hiccups stay under 1%% of token gaps.
+	low := p.Entry(Key{Class: workload.MM, TP: model.TP2, Freq: 800})
+	if low.MaxLoad > 0.2 {
+		t.Fatalf("MM/TP2/0.8GHz MaxLoad = %v, want near zero", low.MaxLoad)
+	}
+	// A memory-infeasible configuration has a truly empty profile.
+	falcon := Build(model.Falcon180B, 1, nil)
+	none := falcon.Entry(Key{Class: workload.MM, TP: model.TP2, Freq: 800})
+	if none.MaxLoad != 0 {
+		t.Fatalf("falcon-180b/TP2 MaxLoad = %v, want 0", none.MaxLoad)
+	}
+	if none.Feasible(0.1) {
+		t.Error("infeasible entry reported feasible")
+	}
+	if !math.IsInf(none.TTFTP99.At(1), 1) {
+		t.Error("infeasible entry should report infinite latency")
+	}
+}
+
+func TestEnergyPerRequest(t *testing.T) {
+	p := p70(t)
+	e := p.Entry(Key{Class: workload.MM, TP: model.TP8, Freq: 1600})
+	lambda := e.MaxLoad * 0.5
+	want := e.Power.At(lambda) / lambda
+	if got := e.EnergyPerRequest(lambda); got != want {
+		t.Errorf("EnergyPerRequest = %v, want %v", got, want)
+	}
+	if !math.IsInf(e.EnergyPerRequest(0), 1) {
+		t.Error("zero-load energy/request should be +Inf")
+	}
+}
+
+func TestMaxLoadHighestPerf(t *testing.T) {
+	p := p70(t)
+	for _, cls := range workload.AllClasses {
+		ml := p.MaxLoadHighestPerf(cls)
+		if ml <= 0 {
+			t.Errorf("%v: highest-perf capacity = %v, want > 0", cls, ml)
+		}
+		e := p.Entry(Key{Class: cls, TP: model.TP8, Freq: gpu.MaxFreq})
+		if ml != e.MaxLoad {
+			t.Errorf("%v: MaxLoadHighestPerf mismatch", cls)
+		}
+	}
+}
+
+// TestBestConfigMatchesPaperShapes: the profile-driven picks reproduce the
+// Table I optima (SS at TP2, SL at TP4@1.2GHz).
+func TestBestConfigMatchesPaperShapes(t *testing.T) {
+	p := p70(t)
+	// Medium system load: 2000 total TPS split per class.
+	lambdaFor := func(cls workload.Class) float64 {
+		in, out := workload.RepresentativeLengths(cls)
+		return 2000.0 / float64(in+out)
+	}
+	ss, ok := p.BestConfig(workload.SS, lambdaFor(workload.SS), 0)
+	if !ok || ss.Key.TP != model.TP2 {
+		t.Errorf("SS best = %+v, want TP2", ss.Key)
+	}
+	sl, ok := p.BestConfig(workload.SL, lambdaFor(workload.SL), 0)
+	if !ok || sl.Key.TP != model.TP4 || sl.Key.Freq > 1200 {
+		t.Errorf("SL best = %v, want TP4 at a low clock", sl.Key)
+	}
+	mm, ok := p.BestConfig(workload.MM, lambdaFor(workload.MM), 0)
+	if !ok || mm.Key.TP != model.TP4 {
+		t.Errorf("MM best = %v, want TP4", mm.Key)
+	}
+}
+
+func TestBestConfigRespectsTPFilter(t *testing.T) {
+	p := p70(t)
+	c, ok := p.BestConfig(workload.MM, 1.0, model.TP8)
+	if !ok || c.Key.TP != model.TP8 {
+		t.Errorf("filtered best = %+v", c)
+	}
+}
+
+func TestBestConfigInfeasibleLoad(t *testing.T) {
+	p := p70(t)
+	if _, ok := p.BestConfig(workload.LL, 1e6, 0); ok {
+		t.Error("absurd load reported feasible")
+	}
+}
+
+func TestBestFreqFallsWithLoad(t *testing.T) {
+	p := p70(t)
+	e := p.Entry(Key{Class: workload.MM, TP: model.TP8, Freq: gpu.MaxFreq})
+	fLow, ok1 := p.BestFreq(workload.MM, model.TP8, e.MaxLoad*0.15)
+	fHigh, ok2 := p.BestFreq(workload.MM, model.TP8, e.MaxLoad*0.97)
+	if !ok1 || !ok2 {
+		t.Fatal("BestFreq failed on feasible loads")
+	}
+	if fLow > fHigh {
+		t.Errorf("light load picked higher freq (%v) than heavy load (%v)", fLow, fHigh)
+	}
+	if _, ok := p.BestFreq(workload.MM, model.TP8, e.MaxLoad*50); ok {
+		t.Error("BestFreq on impossible load should fail")
+	}
+}
+
+// TestLooseSLOProfile: relaxing the SLO only increases capacity.
+func TestLooseSLOProfile(t *testing.T) {
+	strict := p70(t)
+	loose := Build(model.Llama2_13B, 2, nil)
+	_ = strict
+	for _, tp := range model.TPChoices {
+		s := Build(model.Llama2_13B, 1, nil).Entry(Key{Class: workload.MM, TP: tp, Freq: 1200})
+		l := loose.Entry(Key{Class: workload.MM, TP: tp, Freq: 1200})
+		if l.MaxLoad < s.MaxLoad {
+			t.Errorf("loose SLO shrank capacity at %v: %v < %v", tp, l.MaxLoad, s.MaxLoad)
+		}
+	}
+}
+
+func TestRepositoryCaches(t *testing.T) {
+	r := NewRepository(nil)
+	a := r.Get(model.Llama2_13B, 1)
+	b := r.Get(model.Llama2_13B, 1)
+	if a != b {
+		t.Error("repository rebuilt an existing profile")
+	}
+	if r.Hits != 1 || r.Misses != 1 {
+		t.Errorf("hits=%d misses=%d, want 1/1", r.Hits, r.Misses)
+	}
+	c := r.Get(model.Llama2_13B, 2)
+	if c == a {
+		t.Error("different SLO scale returned same profile")
+	}
+	if r.Get(model.Llama2_13B, 0.5) != a {
+		t.Error("sub-1 SLO scale should clamp to 1 and hit the cache")
+	}
+}
+
+func TestRepositoryConcurrent(t *testing.T) {
+	r := NewRepository(nil)
+	var wg sync.WaitGroup
+	out := make([]*Profile, 8)
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			out[i] = r.Get(model.Mixtral8x7B, 1)
+		}(i)
+	}
+	wg.Wait()
+	for i := 1; i < 8; i++ {
+		if out[i] != out[0] {
+			t.Fatal("concurrent Get returned different profiles")
+		}
+	}
+}

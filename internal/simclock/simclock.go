@@ -1,0 +1,305 @@
+// Package simclock provides a discrete-event simulation kernel: a virtual
+// clock, a priority event queue, and deterministic random-number streams.
+//
+// All DynamoLLM experiments run against simulated time so that week-long
+// cluster traces execute in seconds of wall time. The kernel is intentionally
+// small: events are closures scheduled at absolute virtual times, executed in
+// time order (FIFO among equal times), and may schedule further events.
+package simclock
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"time"
+)
+
+// Time is a point in virtual time, measured in seconds from the start of the
+// simulation. A float64 keeps the arithmetic simple and is precise enough for
+// week-long horizons at sub-millisecond resolution.
+type Time float64
+
+// Duration is a span of virtual time in seconds.
+type Duration = float64
+
+// Common durations, in seconds.
+const (
+	Millisecond Duration = 1e-3
+	Second      Duration = 1
+	Minute      Duration = 60
+	Hour        Duration = 3600
+	Day         Duration = 24 * Hour
+	Week        Duration = 7 * Day
+)
+
+// Std converts a virtual duration to a time.Duration for display purposes.
+func Std(d Duration) time.Duration { return time.Duration(d * float64(time.Second)) }
+
+// event is a scheduled callback.
+type event struct {
+	at   Time
+	seq  uint64 // tie-break: FIFO among equal times
+	fn   func()
+	dead bool
+}
+
+// EventID identifies a scheduled event so that it can be cancelled.
+type EventID struct{ ev *event }
+
+// eventHeap implements container/heap ordered by (at, seq).
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return ev
+}
+
+// Clock is a discrete-event simulation clock. The zero value is not usable;
+// construct with New.
+type Clock struct {
+	now    Time
+	seq    uint64
+	events eventHeap
+	steps  uint64
+}
+
+// New returns a clock positioned at virtual time zero with an empty agenda.
+func New() *Clock {
+	return &Clock{}
+}
+
+// Now reports the current virtual time.
+func (c *Clock) Now() Time { return c.now }
+
+// Pending reports the number of scheduled (non-cancelled) events.
+func (c *Clock) Pending() int {
+	n := 0
+	for _, ev := range c.events {
+		if !ev.dead {
+			n++
+		}
+	}
+	return n
+}
+
+// Steps reports the number of events executed so far.
+func (c *Clock) Steps() uint64 { return c.steps }
+
+// At schedules fn to run at absolute virtual time t. Scheduling in the past
+// panics: that is always a logic error in a discrete-event program.
+func (c *Clock) At(t Time, fn func()) EventID {
+	if t < c.now {
+		panic(fmt.Sprintf("simclock: scheduling at %v before now %v", t, c.now))
+	}
+	c.seq++
+	ev := &event{at: t, seq: c.seq, fn: fn}
+	heap.Push(&c.events, ev)
+	return EventID{ev: ev}
+}
+
+// After schedules fn to run d seconds from now.
+func (c *Clock) After(d Duration, fn func()) EventID {
+	return c.At(c.now+Time(d), fn)
+}
+
+// Every schedules fn to run now+d, then repeatedly every d seconds, until the
+// returned cancel function is called. fn observes the clock at each firing.
+func (c *Clock) Every(d Duration, fn func()) (cancel func()) {
+	if d <= 0 {
+		panic("simclock: Every with non-positive period")
+	}
+	stopped := false
+	var tick func()
+	tick = func() {
+		if stopped {
+			return
+		}
+		fn()
+		if !stopped {
+			c.After(d, tick)
+		}
+	}
+	c.After(d, tick)
+	return func() { stopped = true }
+}
+
+// Cancel removes a scheduled event. Cancelling an already-executed or
+// already-cancelled event is a no-op.
+func (c *Clock) Cancel(id EventID) {
+	if id.ev != nil {
+		id.ev.dead = true
+	}
+}
+
+// Step executes the next event, advancing the clock. It reports false when
+// the agenda is empty.
+func (c *Clock) Step() bool {
+	for len(c.events) > 0 {
+		ev := heap.Pop(&c.events).(*event)
+		if ev.dead {
+			continue
+		}
+		c.now = ev.at
+		c.steps++
+		ev.fn()
+		return true
+	}
+	return false
+}
+
+// RunUntil executes events until the agenda is exhausted or the next event
+// lies strictly beyond t; the clock finishes positioned at t (or at the last
+// event time if that is later than t, which cannot happen by construction).
+func (c *Clock) RunUntil(t Time) {
+	for {
+		ev := c.peek()
+		if ev == nil || ev.at > t {
+			break
+		}
+		c.Step()
+	}
+	if c.now < t {
+		c.now = t
+	}
+}
+
+// Run executes events until the agenda is exhausted.
+func (c *Clock) Run() {
+	for c.Step() {
+	}
+}
+
+func (c *Clock) peek() *event {
+	for len(c.events) > 0 {
+		ev := c.events[0]
+		if !ev.dead {
+			return ev
+		}
+		heap.Pop(&c.events)
+	}
+	return nil
+}
+
+// --- Deterministic random streams -----------------------------------------
+
+// RNG is a small, fast, deterministic pseudo-random generator
+// (xorshift128+ variant, splittable by seed) used for reproducible workload
+// generation. It deliberately avoids math/rand global state so concurrent
+// experiments never interfere.
+type RNG struct {
+	s0, s1 uint64
+}
+
+// NewRNG returns a generator seeded from seed. Two generators with the same
+// seed produce identical streams.
+func NewRNG(seed uint64) *RNG {
+	// SplitMix64 to spread the seed bits.
+	r := &RNG{}
+	z := seed + 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	r.s0 = z ^ (z >> 31)
+	z = r.s0 + 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	r.s1 = z ^ (z >> 31)
+	if r.s0 == 0 && r.s1 == 0 {
+		r.s1 = 1
+	}
+	return r
+}
+
+// Split derives an independent stream from this one, keyed by label.
+func (r *RNG) Split(label uint64) *RNG {
+	return NewRNG(r.Uint64() ^ (label * 0x9e3779b97f4a7c15))
+}
+
+// Uint64 returns the next 64 random bits.
+func (r *RNG) Uint64() uint64 {
+	x, y := r.s0, r.s1
+	r.s0 = y
+	x ^= x << 23
+	x ^= x >> 17
+	x ^= y ^ (y >> 26)
+	r.s1 = x
+	return x + y
+}
+
+// Float64 returns a uniform value in [0, 1).
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Intn returns a uniform value in [0, n). n must be positive.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("simclock: Intn with non-positive n")
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// Exp returns an exponentially distributed value with the given rate
+// (mean 1/rate). Used for Poisson inter-arrival times.
+func (r *RNG) Exp(rate float64) float64 {
+	if rate <= 0 {
+		panic("simclock: Exp with non-positive rate")
+	}
+	u := r.Float64()
+	for u == 0 {
+		u = r.Float64()
+	}
+	return -math.Log(u) / rate
+}
+
+// Norm returns a normally distributed value with the given mean and stddev
+// (Box–Muller).
+func (r *RNG) Norm(mean, stddev float64) float64 {
+	u1 := r.Float64()
+	for u1 == 0 {
+		u1 = r.Float64()
+	}
+	u2 := r.Float64()
+	return mean + stddev*math.Sqrt(-2*math.Log(u1))*math.Cos(2*math.Pi*u2)
+}
+
+// LogNorm returns a log-normally distributed value where the underlying
+// normal has parameters mu and sigma.
+func (r *RNG) LogNorm(mu, sigma float64) float64 {
+	return math.Exp(r.Norm(mu, sigma))
+}
+
+// Pick returns an index in [0, len(weights)) with probability proportional
+// to weights[i]. All weights must be non-negative with a positive sum.
+func (r *RNG) Pick(weights []float64) int {
+	total := 0.0
+	for _, w := range weights {
+		if w < 0 {
+			panic("simclock: negative weight")
+		}
+		total += w
+	}
+	if total <= 0 {
+		panic("simclock: weights sum to zero")
+	}
+	x := r.Float64() * total
+	for i, w := range weights {
+		x -= w
+		if x < 0 {
+			return i
+		}
+	}
+	return len(weights) - 1
+}
