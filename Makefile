@@ -1,0 +1,27 @@
+# Single source of truth for build/test/lint commands: CI (.github/workflows/
+# ci.yml) and humans invoke the same targets.
+
+GO ?= go
+
+.PHONY: all build test lint bench smoke
+
+all: build lint test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test -race ./...
+
+lint:
+	$(GO) vet ./...
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt: these files need formatting:"; echo "$$out"; exit 1; fi
+
+# One iteration of every benchmark, compile-and-run smoke only (no timing).
+bench:
+	$(GO) test -bench=. -benchtime=1x -run='^$$' ./...
+
+# End-to-end: regenerate the paper's headline numbers through the real CLI.
+smoke:
+	$(GO) run ./cmd/dynamobench -quick headline

@@ -18,6 +18,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"time"
 
 	"dynamollm/internal/expt"
@@ -27,6 +28,7 @@ func main() {
 	peak := flag.Float64("peak", 45, "weekly-peak request rate (req/s) for cluster experiments")
 	seed := flag.Uint64("seed", 42, "random seed")
 	quick := flag.Bool("quick", false, "shrink long experiments (2-day weeks, thinner load)")
+	jobs := flag.Int("jobs", runtime.NumCPU(), "max concurrent simulations per experiment (output is identical for any value)")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: dynamobench [flags] <experiment>... | all\n\nexperiments: %v\n\nflags:\n", names())
 		flag.PrintDefaults()
@@ -42,6 +44,7 @@ func main() {
 	cfg.PeakRPS = *peak
 	cfg.Seed = *seed
 	cfg.Quick = *quick
+	cfg.Parallelism = *jobs
 
 	if len(args) == 1 && args[0] == "all" {
 		args = names()

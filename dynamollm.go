@@ -162,8 +162,20 @@ func SimulateWithRepo(tr Trace, cfg Config, repo *Repo) (*Result, error) {
 	}, nil
 }
 
-// Experiments returns the evaluation harness with default settings.
+// Experiments returns the evaluation harness with default settings. Set
+// Parallelism on the returned config (or use ExperimentsParallel) to fan
+// each experiment's independent simulations across a bounded worker pool;
+// results are deterministic for any parallelism level.
 func Experiments() expt.Config { return expt.Default() }
+
+// ExperimentsParallel returns the evaluation harness with its Parallelism
+// knob set: jobs bounds concurrent simulations per experiment (0 = one
+// worker per CPU, 1 = sequential).
+func ExperimentsParallel(jobs int) expt.Config {
+	c := expt.Default()
+	c.Parallelism = jobs
+	return c
+}
 
 // Classes lists the nine request classes ("SS".."LL").
 func Classes() []string {

@@ -55,3 +55,13 @@ func TestCatalogAccessors(t *testing.T) {
 		t.Errorf("classes = %v", Classes())
 	}
 }
+
+func TestExperimentsParallelKnob(t *testing.T) {
+	if Experiments().Parallelism != 0 {
+		t.Error("default harness should use one worker per CPU (Parallelism=0)")
+	}
+	c := ExperimentsParallel(3)
+	if c.Parallelism != 3 {
+		t.Errorf("Parallelism = %d, want 3", c.Parallelism)
+	}
+}

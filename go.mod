@@ -1,0 +1,3 @@
+module dynamollm
+
+go 1.24

@@ -31,6 +31,11 @@ type Config struct {
 	Quick bool
 	// Repo caches model profiles across experiments.
 	Repo *profile.Repository
+	// Parallelism bounds how many simulations run concurrently within an
+	// experiment (0 = one worker per CPU, 1 = sequential). Results are
+	// deterministic for any value: each simulation owns its RNG and the
+	// Runner slots results by index, never by completion order.
+	Parallelism int
 }
 
 // Default returns the standard harness configuration.
@@ -44,6 +49,8 @@ func (c Config) repo() *profile.Repository {
 	}
 	return c.Repo
 }
+
+func (c Config) runner() Runner { return Runner{Jobs: c.Parallelism} }
 
 // mediumTotalTPS is Table I/III's "medium system load" in total tokens/s.
 const mediumTotalTPS = 2000
@@ -268,23 +275,75 @@ func (c Config) warm(svc trace.Service, offset simclock.Time) func(simclock.Time
 	}
 }
 
-// runSystems drives a trace through the named systems.
-func (c Config) runSystems(tr trace.Trace, names []string, mutate func(*core.Options)) []SystemRun {
+// systemOptions resolves one named system's options under this harness
+// configuration. Options is a value type, so every simulation gets its own
+// copy — mutate never leaks across concurrent runs.
+func (c Config) systemOptions(name string, mutate func(*core.Options)) (core.Options, bool) {
+	opts, ok := core.SystemByName(name)
+	if !ok {
+		return core.Options{}, false
+	}
+	opts.Seed = c.Seed
+	opts.WarmLoad = c.warm(trace.Conversation, trace.OpenSourceHourStart)
+	if mutate != nil {
+		mutate(&opts)
+	}
+	return opts, true
+}
+
+// mustSystemOptions is systemOptions for the fixed system names the figures
+// reference; an unknown name is a programming error and fails loudly rather
+// than silently simulating an all-defaults system.
+func (c Config) mustSystemOptions(name string, mutate func(*core.Options)) core.Options {
+	opts, ok := c.systemOptions(name, mutate)
+	if !ok {
+		panic("expt: unknown system " + name)
+	}
+	return opts
+}
+
+// gridJob is one cell of a group-by-system experiment grid.
+type gridJob struct {
+	group int
+	tr    trace.Trace
+	name  string
+	opts  core.Options
+}
+
+// gridRuns fans a flattened grid of simulations through one worker pool and
+// regroups the results by group index. Jobs are appended group-major, so
+// within each group the system order is the construction order.
+func (c Config) gridRuns(jobs []gridJob, numGroups int) [][]SystemRun {
 	repo := c.repo()
-	out := make([]SystemRun, 0, len(names))
-	for _, name := range names {
-		opts, ok := core.SystemByName(name)
-		if !ok {
-			continue
-		}
-		opts.Seed = c.Seed
-		opts.WarmLoad = c.warm(trace.Conversation, trace.OpenSourceHourStart)
-		if mutate != nil {
-			mutate(&opts)
-		}
-		out = append(out, SystemRun{Name: name, Result: core.RunWithRepo(tr, opts, repo)})
+	runs := Collect(c.runner(), len(jobs), func(i int) SystemRun {
+		j := jobs[i]
+		return SystemRun{Name: j.name, Result: core.RunWithRepo(j.tr, j.opts, repo)}
+	})
+	out := make([][]SystemRun, numGroups)
+	for i, j := range jobs {
+		out[j.group] = append(out[j.group], runs[i])
 	}
 	return out
+}
+
+// runSystems drives a trace through the named systems, fanning the
+// independent simulations across the runner's worker pool. Output order
+// follows names, not completion order.
+func (c Config) runSystems(tr trace.Trace, names []string, mutate func(*core.Options)) []SystemRun {
+	repo := c.repo()
+	type job struct {
+		name string
+		opts core.Options
+	}
+	jobs := make([]job, 0, len(names))
+	for _, name := range names {
+		if opts, ok := c.systemOptions(name, mutate); ok {
+			jobs = append(jobs, job{name: name, opts: opts})
+		}
+	}
+	return Collect(c.runner(), len(jobs), func(i int) SystemRun {
+		return SystemRun{Name: jobs[i].name, Result: core.RunWithRepo(tr, jobs[i].opts, repo)}
+	})
 }
 
 // ClusterHour runs all six systems on the 1-hour trace: the shared
@@ -304,30 +363,34 @@ type Fig11Row struct {
 }
 
 // Fig11 sweeps the output-length predictor accuracy on DynamoLLM plus the
-// SinglePool reference.
+// SinglePool reference. All six simulations run through one worker pool.
 func (c Config) Fig11() []Fig11Row {
 	tr := c.hourTrace()
-	rows := []Fig11Row{}
-	base := c.runSystems(tr, []string{"singlepool"}, nil)[0]
-	rows = append(rows, Fig11Row{
-		Label:     "SinglePool",
-		Accuracy:  1,
-		EnergyKWh: base.Result.EnergyKWh(),
-		TTFTMean:  base.Result.TTFT.Mean(),
-	})
-	for _, acc := range []float64{1.0, 0.9, 0.8, 0.6, 0.5} {
-		acc := acc
-		run := c.runSystems(tr, []string{"dynamollm"}, func(o *core.Options) {
-			o.PredictorAccuracy = acc
-		})[0]
-		rows = append(rows, Fig11Row{
-			Label:     "Dyn-" + pct(acc),
-			Accuracy:  acc,
-			EnergyKWh: run.Result.EnergyKWh(),
-			TTFTMean:  run.Result.TTFT.Mean(),
-		})
+	repo := c.repo()
+	type spec struct {
+		label  string
+		system string
+		acc    float64
 	}
-	return rows
+	specs := []spec{{label: "SinglePool", system: "singlepool", acc: 1}}
+	for _, acc := range []float64{1.0, 0.9, 0.8, 0.6, 0.5} {
+		specs = append(specs, spec{label: "Dyn-" + pct(acc), system: "dynamollm", acc: acc})
+	}
+	return Collect(c.runner(), len(specs), func(i int) Fig11Row {
+		sp := specs[i]
+		opts := c.mustSystemOptions(sp.system, func(o *core.Options) {
+			if sp.system == "dynamollm" {
+				o.PredictorAccuracy = sp.acc
+			}
+		})
+		res := core.RunWithRepo(tr, opts, repo)
+		return Fig11Row{
+			Label:     sp.label,
+			Accuracy:  sp.acc,
+			EnergyKWh: res.EnergyKWh(),
+			TTFTMean:  res.TTFT.Mean(),
+		}
+	})
 }
 
 // --- Fig. 12: load sensitivity --------------------------------------------------
@@ -340,18 +403,25 @@ type Fig12Level struct {
 }
 
 // Fig12 generates Poisson hours at Low/Medium/High load and compares the
-// six systems.
+// six systems. The 3x6 level-by-system grid is flattened into a single
+// worker pool so one slow level cannot serialize the others.
 func (c Config) Fig12() []Fig12Level {
 	levels := []struct {
 		label  string
 		factor float64
 	}{{"Low", 0.25}, {"Medium", 0.55}, {"High", 0.9}}
-	out := []Fig12Level{}
-	for _, lv := range levels {
-		// Constant-rate Poisson hour: thin the near-peak hour.
+	jobs := make([]gridJob, 0, len(levels)*len(core.SystemNames))
+	for li, lv := range levels {
+		// Constant-rate Poisson hour: thin the near-peak hour per level.
 		tr := c.hourTrace().Scale(lv.factor, c.Seed^0xF12)
-		runs := c.runSystems(tr, core.SystemNames, nil)
-		out = append(out, Fig12Level{Label: lv.label, Factor: lv.factor, Systems: runs})
+		for _, name := range core.SystemNames {
+			jobs = append(jobs, gridJob{group: li, tr: tr, name: name, opts: c.mustSystemOptions(name, nil)})
+		}
+	}
+	groups := c.gridRuns(jobs, len(levels))
+	out := make([]Fig12Level, len(levels))
+	for i, lv := range levels {
+		out[i] = Fig12Level{Label: lv.label, Factor: lv.factor, Systems: groups[i]}
 	}
 	return out
 }
@@ -366,23 +436,24 @@ type Fig13Row struct {
 	SLOAtt    float64
 }
 
-// Fig13 sweeps the number of request pools.
+// Fig13 sweeps the number of request pools, one worker per pool count.
 func (c Config) Fig13() []Fig13Row {
 	tr := c.hourTrace()
-	out := []Fig13Row{}
-	for _, n := range []int{2, 4, 6, 9, 12, 16} {
-		n := n
-		run := c.runSystems(tr, []string{"dynamollm"}, func(o *core.Options) {
+	repo := c.repo()
+	counts := []int{2, 4, 6, 9, 12, 16}
+	return Collect(c.runner(), len(counts), func(i int) Fig13Row {
+		n := counts[i]
+		opts := c.mustSystemOptions("dynamollm", func(o *core.Options) {
 			o.NumPools = n
-		})[0]
-		out = append(out, Fig13Row{
-			Pools:     n,
-			EnergyKWh: run.Result.EnergyKWh(),
-			TTFTMean:  run.Result.TTFT.Mean(),
-			SLOAtt:    run.Result.SLOAttainment(),
 		})
-	}
-	return out
+		res := core.RunWithRepo(tr, opts, repo)
+		return Fig13Row{
+			Pools:     n,
+			EnergyKWh: res.EnergyKWh(),
+			TTFTMean:  res.TTFT.Mean(),
+			SLOAtt:    res.SLOAttainment(),
+		}
+	})
 }
 
 // --- Figs. 14-16 + cost: long horizons -------------------------------------------
@@ -431,20 +502,28 @@ type Fig14Row struct {
 	Systems []SystemRun
 }
 
-// Fig14 runs the six systems over week-long traces for both services.
+// Fig14 runs the six systems over week-long traces for both services,
+// flattening the 2x6 service-by-system grid into a single worker pool.
 func (c Config) Fig14() []Fig14Row {
-	out := []Fig14Row{}
-	for _, svc := range []trace.Service{trace.Conversation, trace.Coding} {
-		svc := svc
-		sub := c
-		sub.PeakRPS = c.weekPeak()
+	svcs := []trace.Service{trace.Conversation, trace.Coding}
+	sub := c
+	sub.PeakRPS = c.weekPeak()
+	jobs := make([]gridJob, 0, len(svcs)*len(core.SystemNames))
+	for si, svc := range svcs {
 		tr := sub.WeekTrace(svc)
 		servers := serversFor(tr)
-		runs := sub.runSystems(tr, core.SystemNames, func(o *core.Options) {
-			o.Servers = servers
-			o.WarmLoad = sub.warm(svc, 0)
-		})
-		out = append(out, Fig14Row{Service: svc, Systems: runs})
+		for _, name := range core.SystemNames {
+			opts := sub.mustSystemOptions(name, func(o *core.Options) {
+				o.Servers = servers
+				o.WarmLoad = sub.warm(svc, 0)
+			})
+			jobs = append(jobs, gridJob{group: si, tr: tr, name: name, opts: opts})
+		}
+	}
+	groups := sub.gridRuns(jobs, len(svcs))
+	out := make([]Fig14Row, len(svcs))
+	for i, svc := range svcs {
+		out[i] = Fig14Row{Service: svc, Systems: groups[i]}
 	}
 	return out
 }

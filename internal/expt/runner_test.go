@@ -1,0 +1,86 @@
+package expt
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestRunnerDoRunsEveryIndexOnce(t *testing.T) {
+	for _, jobs := range []int{0, 1, 3, 8, 100} {
+		var counts [57]atomic.Int32
+		Runner{Jobs: jobs}.Do(len(counts), func(i int) {
+			counts[i].Add(1)
+		})
+		for i := range counts {
+			if got := counts[i].Load(); got != 1 {
+				t.Errorf("Jobs=%d: fn(%d) ran %d times, want 1", jobs, i, got)
+			}
+		}
+	}
+}
+
+func TestRunnerDoBoundsConcurrency(t *testing.T) {
+	const jobs = 3
+	var inFlight, peak atomic.Int32
+	var mu sync.Mutex
+	Runner{Jobs: jobs}.Do(64, func(i int) {
+		n := inFlight.Add(1)
+		mu.Lock()
+		if n > peak.Load() {
+			peak.Store(n)
+		}
+		mu.Unlock()
+		inFlight.Add(-1)
+	})
+	if p := peak.Load(); p > jobs {
+		t.Errorf("peak in-flight = %d, want <= %d", p, jobs)
+	}
+}
+
+func TestRunnerDoEmpty(t *testing.T) {
+	called := false
+	Runner{Jobs: 4}.Do(0, func(int) { called = true })
+	if called {
+		t.Error("fn called for n=0")
+	}
+}
+
+func TestCollectPreservesIndexOrder(t *testing.T) {
+	got := Collect(Runner{Jobs: 8}, 100, func(i int) int { return i * i })
+	for i, v := range got {
+		if v != i*i {
+			t.Fatalf("slot %d = %d, want %d", i, v, i*i)
+		}
+	}
+}
+
+// TestParallelMatchesSequential is the tentpole guarantee: fanning the
+// six-system cluster hour across 8 workers renders byte-identical tables to
+// a sequential run with the same seed. Run under -race this also exercises
+// the shared profile repository and trace from concurrent simulations.
+func TestParallelMatchesSequential(t *testing.T) {
+	if testing.Short() {
+		t.Skip("cluster simulation")
+	}
+	cfg := quickCfg()
+	cfg.PeakRPS = 18
+
+	seq := cfg
+	seq.Parallelism = 1
+	par := cfg
+	par.Parallelism = 8
+
+	render := func(runs []SystemRun) string {
+		return RenderSystems(runs) + RenderFig6Breakdown(runs) +
+			RenderFig9(runs) + RenderFig10(runs)
+	}
+	want := render(seq.ClusterHour())
+	got := render(par.ClusterHour())
+	if want == "" {
+		t.Fatal("empty sequential render")
+	}
+	if got != want {
+		t.Errorf("parallel render differs from sequential:\n--- sequential ---\n%s\n--- parallel ---\n%s", want, got)
+	}
+}

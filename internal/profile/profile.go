@@ -239,12 +239,17 @@ func (p *Profile) BestFreq(cls workload.Class, tp model.TP, lambda float64) (gpu
 
 // Repository caches profiles by (model, SLO scale), standing in for the
 // paper's global profile store with cluster-local caching. It is safe for
-// concurrent use.
+// concurrent use: the global lock only guards the cache map, and each
+// profile is built at most once outside it (per-key sync.Once), so
+// concurrent simulations of different models or SLO scales profile in
+// parallel while same-key callers share one build.
 type Repository struct {
 	mu       sync.Mutex
-	profiles map[repoKey]*Profile
+	profiles map[repoKey]*repoEntry
 	measure  Measurer
-	// Hits and Misses count cache behaviour (observable for tests).
+	// Hits and Misses count cache behaviour (observable for tests). A miss
+	// is counted per key, not per caller: concurrent Gets for a key being
+	// built all block on the same build and the first counts the miss.
 	Hits, Misses int
 }
 
@@ -253,10 +258,15 @@ type repoKey struct {
 	sloScale float64
 }
 
+type repoEntry struct {
+	once sync.Once
+	p    *Profile
+}
+
 // NewRepository returns an empty repository using the given measurer
 // (nil = analytic).
 func NewRepository(measure Measurer) *Repository {
-	return &Repository{profiles: make(map[repoKey]*Profile), measure: measure}
+	return &Repository{profiles: make(map[repoKey]*repoEntry), measure: measure}
 }
 
 // Get returns the profile for a model/SLO pair, building it on first use.
@@ -266,13 +276,31 @@ func (r *Repository) Get(m *model.Model, sloScale float64) *Profile {
 	}
 	k := repoKey{model: m.Name, sloScale: sloScale}
 	r.mu.Lock()
-	defer r.mu.Unlock()
-	if p, ok := r.profiles[k]; ok {
+	e, ok := r.profiles[k]
+	if ok {
 		r.Hits++
-		return p
+	} else {
+		r.Misses++
+		e = &repoEntry{}
+		r.profiles[k] = e
 	}
-	r.Misses++
-	p := Build(m, sloScale, r.measure)
-	r.profiles[k] = p
-	return p
+	r.mu.Unlock()
+	e.once.Do(func() {
+		defer func() {
+			if e.p == nil {
+				// Build panicked (e.g. a broken custom Measurer). Drop
+				// the entry so a later Get retries the build instead of
+				// returning nil forever.
+				r.mu.Lock()
+				delete(r.profiles, k)
+				r.mu.Unlock()
+			}
+		}()
+		e.p = Build(m, sloScale, r.measure)
+	})
+	if e.p == nil {
+		// A concurrent caller's build panicked while we waited on it.
+		panic(fmt.Sprintf("profile: build failed for %s/SLOx%g", k.model, k.sloScale))
+	}
+	return e.p
 }

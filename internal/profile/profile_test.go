@@ -3,10 +3,12 @@ package profile
 import (
 	"math"
 	"sync"
+	"sync/atomic"
 	"testing"
 
 	"dynamollm/internal/gpu"
 	"dynamollm/internal/model"
+	"dynamollm/internal/perfmodel"
 	"dynamollm/internal/workload"
 )
 
@@ -248,5 +250,85 @@ func TestRepositoryConcurrent(t *testing.T) {
 		if out[i] != out[0] {
 			t.Fatal("concurrent Get returned different profiles")
 		}
+	}
+}
+
+func TestRepositoryConcurrentBuildsOnce(t *testing.T) {
+	var builds atomic.Int32
+	counting := func(cfg perfmodel.Config, lambda float64, in, out int, sloScale float64) Observation {
+		builds.Add(1)
+		return AnalyticMeasurer(cfg, lambda, in, out, sloScale)
+	}
+	r := NewRepository(counting)
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			r.Get(model.Llama2_13B, 1)
+		}()
+	}
+	wg.Wait()
+	if r.Misses != 1 {
+		t.Errorf("misses = %d, want 1 (one build shared by all callers)", r.Misses)
+	}
+	if r.Hits != 15 {
+		t.Errorf("hits = %d, want 15", r.Hits)
+	}
+	want := builds.Load()
+	r.Get(model.Llama2_13B, 1)
+	if builds.Load() != want {
+		t.Error("cache hit re-ran the measurer")
+	}
+}
+
+func TestRepositoryConcurrentDistinctKeys(t *testing.T) {
+	r := NewRepository(nil)
+	scales := []float64{1, 2, 4}
+	var wg sync.WaitGroup
+	out := make([]*Profile, len(scales))
+	for i, s := range scales {
+		wg.Add(1)
+		go func(i int, s float64) {
+			defer wg.Done()
+			out[i] = r.Get(model.Llama2_13B, s)
+		}(i, s)
+	}
+	wg.Wait()
+	for i := range out {
+		for j := i + 1; j < len(out); j++ {
+			if out[i] == out[j] {
+				t.Errorf("scales %v and %v shared a profile", scales[i], scales[j])
+			}
+		}
+	}
+	if r.Misses != len(scales) {
+		t.Errorf("misses = %d, want %d", r.Misses, len(scales))
+	}
+}
+
+func TestRepositoryRetriesAfterBuildPanic(t *testing.T) {
+	var calls atomic.Int32
+	flaky := func(cfg perfmodel.Config, lambda float64, in, out int, sloScale float64) Observation {
+		if calls.Add(1) == 1 {
+			panic("measurer transient failure")
+		}
+		return AnalyticMeasurer(cfg, lambda, in, out, sloScale)
+	}
+	r := NewRepository(flaky)
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("first Get should propagate the build panic")
+			}
+		}()
+		r.Get(model.Llama2_13B, 1)
+	}()
+	p := r.Get(model.Llama2_13B, 1)
+	if p == nil {
+		t.Fatal("retry after failed build returned nil")
+	}
+	if r.Misses != 2 {
+		t.Errorf("misses = %d, want 2 (failed build dropped from cache)", r.Misses)
 	}
 }
