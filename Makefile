@@ -3,7 +3,10 @@
 
 GO ?= go
 
-.PHONY: all build test lint bench smoke
+# Sequence number for committed benchmark baselines (BENCH_<N>.json).
+N ?= dev
+
+.PHONY: all build test lint bench bench-json profile smoke
 
 all: build lint test
 
@@ -21,6 +24,21 @@ lint:
 # One iteration of every benchmark, compile-and-run smoke only (no timing).
 bench:
 	$(GO) test -bench=. -benchtime=1x -run='^$$' ./...
+
+# Benchmark trajectory: run every benchmark once with -benchmem and emit
+# BENCH_$(N).json (ns/op, B/op, allocs/op, custom metrics per benchmark).
+# CI archives the result; perf PRs commit it as the next baseline.
+bench-json:
+	$(GO) test -bench=. -benchtime=1x -benchmem -run='^$$' ./... > bench.out
+	$(GO) run ./cmd/benchjson -out BENCH_$(N).json < bench.out
+	@rm -f bench.out
+	@echo "wrote BENCH_$(N).json"
+
+# Flame-graph entry point: profile the six-system cluster hour through the
+# real CLI. Start future perf work here, not from a guess.
+profile:
+	$(GO) run ./cmd/dynamobench -quick -cpuprofile cpu.prof -memprofile mem.prof fig6 > /dev/null
+	@echo "wrote cpu.prof mem.prof; inspect with: go tool pprof -http=:8080 cpu.prof"
 
 # End-to-end: regenerate the paper's headline numbers through the real CLI.
 smoke:

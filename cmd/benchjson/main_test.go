@@ -1,0 +1,58 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: dynamollm
+cpu: Intel(R) Xeon(R) Processor @ 2.70GHz
+BenchmarkFig6 	       1	 275591357 ns/op	        53.49 dynamo-energy-saving-%	44220864 B/op	  199308 allocs/op
+PASS
+ok  	dynamollm	0.280s
+pkg: dynamollm/internal/core
+BenchmarkTickLoopSinglePool-8 	       3	  29165562 ns/op	  560394 B/op	    4009 allocs/op
+PASS
+`
+
+func TestParse(t *testing.T) {
+	r, err := parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Goos != "linux" || r.Goarch != "amd64" || !strings.Contains(r.CPU, "Xeon") {
+		t.Errorf("env = %q/%q/%q", r.Goos, r.Goarch, r.CPU)
+	}
+	if len(r.Benchmarks) != 2 {
+		t.Fatalf("benchmarks = %d, want 2", len(r.Benchmarks))
+	}
+	fig6 := r.Benchmarks[0]
+	if fig6.Name != "BenchmarkFig6" || fig6.Pkg != "dynamollm" || fig6.Iterations != 1 {
+		t.Errorf("fig6 header = %+v", fig6)
+	}
+	if fig6.NsPerOp != 275591357 || fig6.BytesPerOp != 44220864 || fig6.AllocsOp != 199308 {
+		t.Errorf("fig6 values = %+v", fig6)
+	}
+	if fig6.Metrics["dynamo-energy-saving-%"] != 53.49 {
+		t.Errorf("fig6 metrics = %v", fig6.Metrics)
+	}
+	tick := r.Benchmarks[1]
+	if tick.Name != "BenchmarkTickLoopSinglePool" {
+		t.Errorf("GOMAXPROCS suffix not stripped: %q", tick.Name)
+	}
+	if tick.Pkg != "dynamollm/internal/core" || tick.AllocsOp != 4009 {
+		t.Errorf("tick = %+v", tick)
+	}
+}
+
+func TestParseSkipsGarbage(t *testing.T) {
+	r, err := parse(strings.NewReader("BenchmarkBroken abc\nnot a line\nBenchmarkX 2 5 ns/op\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Benchmarks) != 1 || r.Benchmarks[0].Name != "BenchmarkX" || r.Benchmarks[0].NsPerOp != 5 {
+		t.Errorf("benchmarks = %+v", r.Benchmarks)
+	}
+}

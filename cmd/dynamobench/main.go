@@ -19,16 +19,25 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"dynamollm/internal/expt"
 )
 
 func main() {
+	// All work happens in realMain so deferred profile writers flush
+	// before the process exits, even when an experiment fails.
+	os.Exit(realMain())
+}
+
+func realMain() int {
 	peak := flag.Float64("peak", 45, "weekly-peak request rate (req/s) for cluster experiments")
 	seed := flag.Uint64("seed", 42, "random seed")
 	quick := flag.Bool("quick", false, "shrink long experiments (2-day weeks, thinner load)")
 	jobs := flag.Int("jobs", runtime.NumCPU(), "max concurrent simulations per experiment (output is identical for any value)")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the selected experiments to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile taken after the selected experiments to this file")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: dynamobench [flags] <experiment>... | all\n\nexperiments: %v\n\nflags:\n", names())
 		flag.PrintDefaults()
@@ -37,7 +46,35 @@ func main() {
 	args := flag.Args()
 	if len(args) == 0 {
 		flag.Usage()
-		os.Exit(2)
+		return 2
+	}
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "dynamobench: %v\n", err)
+			return 1
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "dynamobench: %v\n", err)
+			return 1
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "dynamobench: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "dynamobench: %v\n", err)
+			}
+		}()
 	}
 
 	cfg := expt.Default()
@@ -65,11 +102,12 @@ func main() {
 		out, err := run(cfg, name, getHour)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "dynamobench: %v\n", err)
-			os.Exit(1)
+			return 1
 		}
 		fmt.Println(out)
 		fmt.Fprintf(os.Stderr, "[%s took %v]\n", name, time.Since(start).Round(time.Millisecond))
 	}
+	return 0
 }
 
 func names() []string {

@@ -186,6 +186,9 @@ type sharedState struct {
 	nextID      int
 	capCache    map[capKey]float64
 	steadyCache map[steadyKey]perfmodel.Steady
+	// curTick is the 1-based tick currently being simulated (0 outside a
+	// run); per-instance tick-scoped memos key on it.
+	curTick int
 }
 
 // nextInstanceID hands out unique instance IDs.
@@ -221,32 +224,41 @@ type capKey struct {
 	inB, outB int
 }
 
+// shapeBucketStep is the geometric grid for request shapes (~12% buckets).
+const shapeBucketStep = 0.12
+
+// shapeBucket grades a token-length EWMA onto the geometric grid.
+func shapeBucket(v, floor float64) int {
+	if v < floor {
+		v = floor
+	}
+	return int(math.Round(math.Log(v) / shapeBucketStep))
+}
+
 // shapeCapacity returns the SLO-feasible capacity (req/s) of a
 // configuration serving a request mix with the given average lengths. The
 // bisection result is cached on a geometric grid of shapes.
 func (s *sharedState) shapeCapacity(tp model.TP, f gpu.Freq, mixIn, mixOut float64) float64 {
-	if mixIn < 8 {
-		mixIn = 8
-	}
-	if mixOut < 4 {
-		mixOut = 4
-	}
-	// ~12% geometric buckets.
-	key := capKey{
+	return s.shapeCapacityKey(capKey{
 		tp:   tp,
 		freq: gpu.Nearest(f),
-		inB:  int(math.Round(math.Log(mixIn) / 0.12)),
-		outB: int(math.Round(math.Log(mixOut) / 0.12)),
-	}
+		inB:  shapeBucket(mixIn, 8),
+		outB: shapeBucket(mixOut, 4),
+	})
+}
+
+// shapeCapacityKey is shapeCapacity for an already-bucketed key (the
+// per-instance capacity memo revalidates with the key alone).
+func (s *sharedState) shapeCapacityKey(key capKey) float64 {
 	if s.capCache == nil {
 		s.capCache = map[capKey]float64{}
 	}
 	if v, ok := s.capCache[key]; ok {
 		return v
 	}
-	inR := math.Exp(float64(key.inB) * 0.12)
-	outR := math.Exp(float64(key.outB) * 0.12)
-	cfg := perfmodel.Config{Model: s.opts.Model, TP: tp, Freq: key.freq}
+	inR := math.Exp(float64(key.inB) * shapeBucketStep)
+	outR := math.Exp(float64(key.outB) * shapeBucketStep)
+	cfg := perfmodel.Config{Model: s.opts.Model, TP: key.tp, Freq: key.freq}
 	ttft := SmoothTTFTSLO(inR) * s.opts.SLOScale
 	tbt := 0.100 * s.opts.SLOScale
 	cap, ok := perfmodel.MaxLoadShape(cfg, int(inR), int(outR), ttft, tbt)

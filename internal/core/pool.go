@@ -2,7 +2,6 @@ package core
 
 import (
 	"math"
-	"sort"
 
 	"dynamollm/internal/gpu"
 	"dynamollm/internal/model"
@@ -30,6 +29,10 @@ type Pooling struct {
 	poolClasses [][]workload.Class
 	// duplicates: extra pools serving the same class as another pool.
 	duplicateOf []int
+	// classOptions precomputes, per class, the primary pool plus its
+	// duplicates — PoolFor is on the per-request hot path and must not
+	// rebuild this list.
+	classOptions [workload.NumClasses][]int
 }
 
 // sizeOrder lists classes from smallest to largest total work.
@@ -67,20 +70,23 @@ func NewPooling(n int) *Pooling {
 		p.duplicateOf[pool] = p.classPool[cls]
 		p.poolClasses[pool] = []workload.Class{cls}
 	}
+	for cls := range p.classOptions {
+		primary := p.classPool[cls]
+		options := []int{primary}
+		for pool, dup := range p.duplicateOf {
+			if dup == primary {
+				options = append(options, pool)
+			}
+		}
+		p.classOptions[cls] = options
+	}
 	return p
 }
 
 // PoolFor returns the pool serving a class; when duplicates exist the
 // choice alternates via the provided counter to split load.
 func (p *Pooling) PoolFor(cls workload.Class, counter uint64) int {
-	primary := p.classPool[cls]
-	// Collect duplicates of this primary pool that serve the class.
-	options := []int{primary}
-	for pool, dup := range p.duplicateOf {
-		if dup == primary {
-			options = append(options, pool)
-		}
-	}
+	options := p.classOptions[cls]
 	return options[int(counter)%len(options)]
 }
 
@@ -165,6 +171,32 @@ type Instance struct {
 	tickAssigned float64
 	// emergency notes an active emergency episode (§IV-D).
 	emergency bool
+
+	// Hot-path memoization. The tick loop queries capacity, marginal
+	// power, and the steady state many times per tick for inputs that
+	// only change on transitions (new mix EWMA, frequency change,
+	// re-shard, rate-bucket move), so each instance caches its last
+	// answer and revalidates by key comparison — the shared caches are
+	// consulted only when a key changes.
+
+	// mixB* are the geometric shape buckets of the mix EWMAs; mixBValid
+	// is cleared whenever observeMix moves them.
+	mixInB, mixOutB int
+	mixBValid       bool
+	// capKeyC/capC memoize capacity() for the last (TP, freq, shape) key.
+	capKeyC  capKey
+	capC     float64
+	capValid bool
+	// stKeyC/stC memoize instanceSteady for the last steady key.
+	stKeyC  steadyKey
+	stC     perfmodel.Steady
+	stValid bool
+	// marginalC/marginalEntryC memoize pickInstance's marginal-power
+	// term, which depends only on tick-stable inputs (rate, mix, freq);
+	// marginalTick is the 1-based tick it was computed for (0 = never).
+	marginalC      float64
+	marginalEntryC *profile.Entry
+	marginalTick   int
 }
 
 func newInstance(id, pool int, tp model.TP, resident bool) *Instance {
@@ -200,16 +232,12 @@ func (in *Instance) settle(now simclock.Time) {
 	}
 }
 
-// config returns the instance's perfmodel configuration.
-func (in *Instance) config(m *model.Model) perfmodel.Config {
-	return perfmodel.Config{Model: m, TP: in.TP, Freq: in.freqCtl.Current()}
-}
-
 // observeMix folds newly assigned requests into the shape EWMAs.
 func (in *Instance) observeMix(inTok, outTok float64, n float64) {
 	if n <= 0 {
 		return
 	}
+	in.mixBValid = false
 	const a = 0.2
 	if in.mixIn == 0 {
 		in.mixIn, in.mixOut = inTok, outTok
@@ -219,13 +247,33 @@ func (in *Instance) observeMix(inTok, outTok float64, n float64) {
 	in.mixOut = a*outTok + (1-a)*in.mixOut
 }
 
+// mixBuckets returns the geometric shape buckets of the mix EWMAs,
+// recomputing the logs only when observeMix has moved the EWMAs. Mix
+// fields assigned directly at construction are picked up on first use.
+func (in *Instance) mixBuckets() (int, int) {
+	if !in.mixBValid {
+		in.mixInB = shapeBucket(in.mixIn, 8)
+		in.mixOutB = shapeBucket(in.mixOut, 4)
+		in.mixBValid = true
+	}
+	return in.mixInB, in.mixOutB
+}
+
 // capacity returns the instance's max sustainable rate (req/s) for its
 // current mix and configuration, scaled by any transition throttling. It
 // is the SLO-constrained capacity of the instance's live request mix,
 // against a smoothly interpolated TTFT target so mixed pools do not see
-// capacity cliffs when their average crosses a class boundary.
+// capacity cliffs when their average crosses a class boundary. The result
+// is memoized until TP, frequency, or a shape bucket changes.
 func (in *Instance) capacity(s *sharedState) float64 {
-	return s.shapeCapacity(in.TP, in.freqCtl.Current(), in.mixIn, in.mixOut) * in.throughputFactor
+	inB, outB := in.mixBuckets()
+	key := capKey{tp: in.TP, freq: in.freqCtl.Current(), inB: inB, outB: outB}
+	if !in.capValid || key != in.capKeyC {
+		in.capKeyC = key
+		in.capC = s.shapeCapacityKey(key)
+		in.capValid = true
+	}
+	return in.capC * in.throughputFactor
 }
 
 // --- Pool -----------------------------------------------------------------------
@@ -289,15 +337,17 @@ func (p *Pool) repClass(pooling *Pooling) workload.Class {
 // pickInstance implements the pool manager's energy-aware placement
 // (§IV-D): choose the instance whose predicted energy increase is
 // smallest while staying within per-instance throughput. Returns nil when
-// every instance is saturated.
+// every instance is saturated. Called once per pool hop per routed
+// request, so it iterates the pool directly and never allocates.
 func (p *Pool) pickInstance(s *sharedState, now simclock.Time) *Instance {
-	actives := p.activeInstances(now)
-	if len(actives) == 0 {
-		return nil
-	}
 	var best *Instance
 	bestScore := math.Inf(1)
-	for _, in := range actives {
+	anyActive := false
+	for _, in := range p.Instances {
+		if !in.Active(now) {
+			continue
+		}
+		anyActive = true
 		cap := in.capacity(s)
 		if cap <= 0 {
 			continue
@@ -307,14 +357,11 @@ func (p *Pool) pickInstance(s *sharedState, now simclock.Time) *Instance {
 			continue
 		}
 		// Marginal power of adding one unit of load: slope of the
-		// profile's power curve at the current rate.
-		cls := workload.Classify(int(in.mixIn), int(in.mixOut))
-		e := s.prof.Entry(profile.Key{Class: cls, TP: in.TP, Freq: in.freqCtl.Current()})
-		if e == nil {
+		// profile's power curve at the current rate (tick-stable, cached).
+		marginal, ok := in.marginalPower(s)
+		if !ok {
 			continue
 		}
-		const dl = 0.01
-		marginal := e.Power.At(in.rate+dl) - e.Power.At(in.rate)
 		// Normalize by headroom so nearly-full instances are less
 		// attractive (keeps tail latency in check).
 		score := marginal + 0.05*in.effRate(s.opts.Tick)/cap
@@ -322,9 +369,12 @@ func (p *Pool) pickInstance(s *sharedState, now simclock.Time) *Instance {
 			best, bestScore = in, score
 		}
 	}
-	if best == nil {
+	if best == nil && anyActive {
 		// All saturated: least loaded relative to capacity.
-		for _, in := range actives {
+		for _, in := range p.Instances {
+			if !in.Active(now) {
+				continue
+			}
 			cap := in.capacity(s)
 			if cap <= 0 {
 				continue
@@ -336,6 +386,27 @@ func (p *Pool) pickInstance(s *sharedState, now simclock.Time) *Instance {
 		}
 	}
 	return best
+}
+
+// marginalPower returns the marginal power of adding one unit of load to
+// the instance. Its inputs (rate, mix, frequency) are constant while a
+// tick's arrivals are being routed, so the value is memoized per tick;
+// tick 0 (direct controller tests) always recomputes.
+func (in *Instance) marginalPower(s *sharedState) (float64, bool) {
+	if s.curTick != 0 && in.marginalTick == s.curTick {
+		return in.marginalC, in.marginalEntryC != nil
+	}
+	cls := workload.Classify(int(in.mixIn), int(in.mixOut))
+	e := s.prof.Entry(profile.Key{Class: cls, TP: in.TP, Freq: in.freqCtl.Current()})
+	in.marginalTick = s.curTick
+	in.marginalEntryC = e
+	if e == nil {
+		in.marginalC = 0
+		return 0, false
+	}
+	const dl = 0.01
+	in.marginalC = e.Power.At(in.rate+dl) - e.Power.At(in.rate)
+	return in.marginalC, true
 }
 
 // effRate is the instance's rate including requests placed this tick.
@@ -608,15 +679,6 @@ func sameCounts(a, b map[model.TP]int) bool {
 	return true
 }
 
-func pickGrowTarget(cur, want map[model.TP]int) model.TP {
-	for _, tp := range model.TPChoices {
-		if cur[tp] < want[tp] {
-			return tp
-		}
-	}
-	return 0
-}
-
 func (p *Pool) findInstance(tp model.TP) *Instance {
 	for _, in := range p.Instances {
 		if in.TP == tp && in.state == stateActive {
@@ -699,11 +761,4 @@ func (p *Pool) poolRate() float64 {
 		}
 	}
 	return sum
-}
-
-// sortInstancesByLoad orders instances for deterministic iteration.
-func (p *Pool) sortInstancesByLoad() {
-	sort.Slice(p.Instances, func(i, j int) bool {
-		return p.Instances[i].ID < p.Instances[j].ID
-	})
 }

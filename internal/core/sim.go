@@ -110,6 +110,13 @@ type Cluster struct {
 	// trackedPools are the classes whose per-pool series are recorded
 	// (Fig. 9/10 track SL, ML, LL).
 	tracked []workload.Class
+
+	// retiredFreqSets preserves the frequency-change counts of instances
+	// removed by compactPools, so Result.FreqChanges stays complete.
+	retiredFreqSets int
+	// steadyProbe is a reusable stand-in instance for steady-state
+	// queries against pools that currently have no instance at all.
+	steadyProbe *Instance
 }
 
 // trackedClasses are the pools Figs. 9-10 plot.
@@ -207,28 +214,45 @@ func (c *Cluster) staticProvision(tr trace.Trace) {
 }
 
 // peakRates computes each pool's peak arrival rate over cluster epochs.
+// Counts live in per-pool slot tables sized from the trace horizon (the
+// slot index is a direct array offset, not a hashed map key).
 func (c *Cluster) peakRates(tr trace.Trace) []float64 {
+	peaks := make([]float64, len(c.pools))
+	if len(tr) == 0 {
+		return peaks
+	}
 	epoch := c.opts.ClusterEpoch
-	counts := map[int]map[int]float64{}
+	slots := int(float64(traceHorizon(tr))/epoch) + 1
+	counts := make([][]float64, len(c.pools))
 	var counter uint64
 	for _, e := range tr {
 		pool := c.pooling.PoolFor(e.Class(), counter)
 		counter++
-		slot := int(float64(e.At) / epoch)
 		if counts[pool] == nil {
-			counts[pool] = map[int]float64{}
+			counts[pool] = make([]float64, slots)
 		}
-		counts[pool][slot]++
+		counts[pool][int(float64(e.At)/epoch)]++
 	}
-	peaks := make([]float64, len(c.pools))
-	for pool, slots := range counts {
-		for _, n := range slots {
+	for pool, slotCounts := range counts {
+		for _, n := range slotCounts {
 			if r := n / epoch; r > peaks[pool] {
 				peaks[pool] = r
 			}
 		}
 	}
 	return peaks
+}
+
+// traceHorizon returns the latest event time in a trace (robust to
+// unsorted traces).
+func traceHorizon(tr trace.Trace) simclock.Time {
+	var maxAt simclock.Time
+	for _, e := range tr {
+		if e.At > maxAt {
+			maxAt = e.At
+		}
+	}
+	return maxAt
 }
 
 // Run drives the trace through the cluster and returns the aggregated
@@ -241,6 +265,18 @@ func Run(tr trace.Trace, opts Options) *Result {
 // RunWithRepo is Run with a shared profile repository (experiments reuse
 // profiles across the six systems).
 func RunWithRepo(tr trace.Trace, opts Options, repo *profile.Repository) *Result {
+	sm := newSimulation(tr, opts, repo)
+	for tick := 0; tick < sm.nTicks; tick++ {
+		sm.step(tick)
+	}
+	sm.finish()
+	return sm.res
+}
+
+// newSimulation prepares a run: cluster construction, static
+// provisioning, result sinks, and the reusable tick-loop scratch state.
+// Callers drive it with step(0..nTicks-1) and close with finish.
+func newSimulation(tr trace.Trace, opts Options, repo *profile.Repository) *simulation {
 	opts = opts.withDefaults()
 	if opts.WarmLoad == nil {
 		// No history supplied: train the load template on the trace
@@ -250,7 +286,6 @@ func RunWithRepo(tr trace.Trace, opts Options, repo *profile.Repository) *Result
 	}
 	c := NewCluster(opts, repo)
 	opts = c.opts
-	s := c.shared
 
 	res := &Result{
 		Opts:            opts,
@@ -291,275 +326,424 @@ func RunWithRepo(tr trace.Trace, opts Options, repo *profile.Repository) *Result
 		res.Duration = opts.Tick
 	}
 
-	idx := 0
-	nTicks := int(res.Duration / opts.Tick)
-	lastPoolEpoch := -1
-	lastClusterEpoch := -1
+	sm := &simulation{
+		c:                c,
+		s:                c.shared,
+		res:              res,
+		tr:               tr,
+		opts:             opts,
+		nTicks:           int(res.Duration / opts.Tick),
+		lastPoolEpoch:    -1,
+		lastClusterEpoch: -1,
+	}
+	sm.reserve()
+	return sm
+}
 
-	// Per-tick per-instance assigned request shape accumulators.
-	type assign struct {
-		n        float64
-		inTok    float64
-		outTok   float64
-		requests []*workload.Request
+// assign accumulates one instance's arrivals for the current tick. Entries
+// live in a flat slice indexed by instance ID and are invalidated lazily
+// by tick stamp, so the router never allocates or clears per tick.
+type assign struct {
+	tick             int // 1-based tick stamp (0 = never touched)
+	n, inTok, outTok float64
+	reqs             []int32 // indices into simulation.reqs
+}
+
+// simulation is the per-run tick-loop state: the cluster plus the scratch
+// buffers the hot path reuses across ticks. In steady state (no epoch
+// reconfiguration in flight) step performs zero heap allocations.
+type simulation struct {
+	c    *Cluster
+	s    *sharedState
+	res  *Result
+	tr   trace.Trace
+	opts Options
+
+	nTicks           int
+	idx              int // next trace event
+	lastPoolEpoch    int
+	lastClusterEpoch int
+
+	// assigns is indexed by Instance.ID (IDs are dense: handed out
+	// sequentially and never reused, so the slice grows with the total
+	// number of instances ever created, not with simulated time).
+	assigns []assign
+	// reqs pools this tick's workload.Request values; assign entries
+	// refer to them by index because the backing array may move while a
+	// tick's arrivals are still being appended.
+	reqs []workload.Request
+}
+
+// reserve pre-sizes the scratch buffers and series so the steady-state
+// loop does not grow them tick by tick.
+func (sm *simulation) reserve() {
+	perTick := 256
+	if sm.nTicks > 0 {
+		if est := 4 * len(sm.tr) / sm.nTicks; est > perTick {
+			perTick = est
+		}
+	}
+	sm.reqs = make([]workload.Request, 0, perTick)
+	sm.assigns = make([]assign, 64)
+
+	res := sm.res
+	series := []*metrics.Series{res.PowerSeries, res.FreqSeries, res.EnergySeries}
+	for _, s := range res.PoolFreqSeries {
+		series = append(series, s)
+	}
+	for _, s := range res.PoolLoadSeries {
+		series = append(series, s)
+	}
+	for _, s := range res.ShardSeries {
+		series = append(series, s)
+	}
+	for _, byTP := range res.PoolShardSeries {
+		for _, s := range byTP {
+			series = append(series, s)
+		}
+	}
+	for _, s := range series {
+		s.Reserve(res.Duration)
+	}
+}
+
+// assignFor returns the live assign entry for an instance ID, resetting a
+// stale one from an earlier tick in place.
+func (sm *simulation) assignFor(id int) *assign {
+	if id >= len(sm.assigns) {
+		grown := make([]assign, id+1, 2*(id+1))
+		copy(grown, sm.assigns)
+		sm.assigns = grown
+	}
+	a := &sm.assigns[id]
+	if a.tick != sm.s.curTick {
+		a.tick = sm.s.curTick
+		a.n, a.inTok, a.outTok = 0, 0, 0
+		a.reqs = a.reqs[:0]
+	}
+	return a
+}
+
+// step advances the simulation by one instance-manager tick.
+func (sm *simulation) step(tick int) {
+	c, s, res, opts := sm.c, sm.s, sm.res, sm.opts
+	s.curTick = tick + 1
+	now := simclock.Time(float64(tick) * opts.Tick)
+	tickEnd := now + simclock.Time(opts.Tick)
+
+	// Lifecycle timers.
+	for _, p := range c.pools {
+		for _, in := range p.Instances {
+			in.settle(now)
+		}
 	}
 
-	for tick := 0; tick < nTicks; tick++ {
-		now := simclock.Time(float64(tick) * opts.Tick)
-		tickEnd := now + simclock.Time(opts.Tick)
-
-		// Lifecycle timers.
-		for _, p := range c.pools {
-			for _, in := range p.Instances {
-				in.settle(now)
-			}
+	// Cluster manager epoch (§IV-B scale-out/in).
+	if ce := int(float64(now) / opts.ClusterEpoch); ce != sm.lastClusterEpoch {
+		sm.lastClusterEpoch = ce
+		if opts.ScaleInstances {
+			c.clusterManagerEpoch(now, res)
 		}
-
-		// Cluster manager epoch (§IV-B scale-out/in).
-		if ce := int(float64(now) / opts.ClusterEpoch); ce != lastClusterEpoch {
-			lastClusterEpoch = ce
-			if opts.ScaleInstances {
-				c.clusterManagerEpoch(now, res)
-			}
-		}
-		// Pool manager epoch (§IV-B shard-up/down).
-		if pe := int(float64(now) / opts.PoolEpoch); pe != lastPoolEpoch {
-			lastPoolEpoch = pe
-			if opts.ScaleSharding {
-				for _, p := range c.pools {
-					res.Reshards += p.reshardPool(s, now, p.poolRate())
-				}
-			}
-		}
-		// Out-of-band escalation (§IV-D): a pool whose instance managers
-		// raised emergencies re-solves immediately with extra headroom,
-		// using its idle GPU budget. Only the optimized re-sharding path
-		// is fast enough to help; the naive stop-and-reload path would
-		// make the outage worse.
-		if opts.ScaleSharding && opts.ReducedOverheads {
+	}
+	// Pool manager epoch (§IV-B shard-up/down).
+	if pe := int(float64(now) / opts.PoolEpoch); pe != sm.lastPoolEpoch {
+		sm.lastPoolEpoch = pe
+		if opts.ScaleSharding {
 			for _, p := range c.pools {
-				if p.emergencyFlag && now > p.lastEmergencyReshard+60 {
-					p.lastEmergencyReshard = now
-					res.Reshards += p.reshardPool(s, now, p.poolRate()*1.6)
-					// If the pool's whole GPU budget cannot cover the
-					// demand, escalate to the cluster level: pre-warm an
-					// extra node immediately instead of waiting for the
-					// next 30-minute epoch.
-					if opts.ScaleInstances {
-						capTotal := 0.0
-						for _, in := range p.activeInstances(now) {
+				res.Reshards += p.reshardPool(s, now, p.poolRate())
+			}
+		}
+	}
+	// Out-of-band escalation (§IV-D): a pool whose instance managers
+	// raised emergencies re-solves immediately with extra headroom,
+	// using its idle GPU budget. Only the optimized re-sharding path
+	// is fast enough to help; the naive stop-and-reload path would
+	// make the outage worse.
+	if opts.ScaleSharding && opts.ReducedOverheads {
+		for _, p := range c.pools {
+			if p.emergencyFlag && now > p.lastEmergencyReshard+60 {
+				p.lastEmergencyReshard = now
+				res.Reshards += p.reshardPool(s, now, p.poolRate()*1.6)
+				// If the pool's whole GPU budget cannot cover the
+				// demand, escalate to the cluster level: pre-warm an
+				// extra node immediately instead of waiting for the
+				// next 30-minute epoch.
+				if opts.ScaleInstances {
+					capTotal := 0.0
+					for _, in := range p.Instances {
+						if in.Active(now) {
 							capTotal += in.capacity(s)
 						}
-						if p.poolRate() > capTotal*0.9 {
-							p.targetGPUs += 8
-							c.addInstance(p, model.TP8, now, false)
-							res.ScaleOuts++
-						}
+					}
+					if p.poolRate() > capTotal*0.9 {
+						p.targetGPUs += 8
+						c.addInstance(p, model.TP8, now, false)
+						res.ScaleOuts++
 					}
 				}
-				p.emergencyFlag = false
 			}
-		}
-
-		// Route this tick's arrivals (§IV-D predictive scheduling).
-		assigned := map[*Instance]*assign{}
-		for idx < len(tr) && tr[idx].At < tickEnd {
-			e := tr[idx]
-			idx++
-			req := &workload.Request{
-				ID:           uint64(idx),
-				Arrival:      e.At,
-				InputTokens:  e.InputTokens,
-				OutputTokens: e.OutputTokens,
-				SLOScale:     opts.SLOScale,
-			}
-			req.PredictedClass = s.lenPred.PredictClass(e.InputTokens, e.OutputTokens)
-			pool := c.route(req, now)
-			// Misprediction handling (§IV-D): the engine discovers the
-			// true length as generation proceeds. An under-predicted
-			// request is re-steered to the correct pool: the wrong pool
-			// has already spent admission and prefill work on it (wasted
-			// energy), and the request pays a detection delay.
-			if trueCls := req.Class(); trueCls != req.PredictedClass {
-				wrongPool := pool
-				if wi := wrongPool.pickInstance(s, now); wi != nil {
-					wi.tickAssigned += 0.5 // wasted prefill/admission work
-				}
-				if trueCls.Output() > req.PredictedClass.Output() {
-					// Under-estimate: move to the correct pool once the
-					// output outgrows the prediction.
-					req.PredictedClass = trueCls
-					pool = c.route(req, now)
-					st := c.instanceSteady(earliestOrAny(wrongPool))
-					req.SteerPenalty = 3*st.IterTime + 0.05
-				}
-				// Over-estimates stay where they were routed: they run
-				// with sub-optimal energy but unaffected latency.
-			}
-			in := pool.pickInstance(s, now)
-			if in == nil {
-				// Every instance is transitioning: queue on the one
-				// that returns first rather than dropping (the request
-				// pays the wait in its TTFT).
-				in = earliestReady(pool)
-			}
-			if in == nil {
-				// Pool has nothing at all: squash (frontend retry, §IV-D).
-				req.Squashed = true
-				res.Squashed++
-				res.Requests++
-				continue
-			}
-			a := assigned[in]
-			if a == nil {
-				a = &assign{}
-				assigned[in] = a
-			}
-			a.n++
-			a.inTok += float64(e.InputTokens)
-			a.outTok += float64(e.OutputTokens)
-			a.requests = append(a.requests, req)
-			in.tickAssigned++
-			pool.arrivalsThisTick++
-			if pool.observedSince == 0 {
-				pool.observedSince = now
-				if pool.observedSince == 0 {
-					pool.observedSince = simclock.Time(1e-9)
-				}
-			}
-			res.Requests++
-		}
-
-		// Update per-instance rates, run instance managers, integrate
-		// energy, and sample latencies.
-		clusterPower := 0.0
-		gpusBusy := 0
-		var freqNum, freqDen float64
-		for _, p := range c.pools {
-			poolGPUs := map[model.TP]float64{}
-			var pFreqNum, pFreqDen float64
-			for _, in := range p.Instances {
-				if in.state == stateOff {
-					continue
-				}
-				a := assigned[in]
-				var tickRate float64
-				if a != nil {
-					tickRate = a.n / opts.Tick
-					in.observeMix(a.inTok/a.n, a.outTok/a.n, a.n)
-				}
-				const ew = 0.3
-				in.rate = ew*tickRate + (1-ew)*in.rate
-				in.tickAssigned = 0
-				if in.rate < 1e-6 {
-					in.rate = 0
-				}
-
-				// Instance manager (§IV-B scale-up/down + §IV-D
-				// emergency handling).
-				c.instanceManager(in, now, res)
-
-				// Steady state for this tick.
-				st := c.instanceSteady(in)
-				if in.rate > 0.01 && st.Rho > 0.01 {
-					in.capEst = in.rate / st.Rho * maxCapFraction
-				} else {
-					in.capEst = 0 // fall back to profile capacity
-				}
-
-				// Backlog dynamics: demand beyond capacity queues.
-				cap := in.capacity(s)
-				if in.rate > cap {
-					in.backlog += (in.rate - cap) * opts.Tick
-				} else if in.backlog > 0 {
-					drain := (cap - in.rate) * opts.Tick
-					in.backlog = math.Max(0, in.backlog-drain)
-				}
-
-				// Energy for the tick.
-				watts := st.Power
-				if in.state == stateProvisioning {
-					watts = gpu.H100.IdlePower * float64(in.TP.GPUs())
-				}
-				clusterPower += watts
-				res.GPUSeconds += float64(in.TP.GPUs()) * opts.Tick
-				gpusBusy += in.TP.GPUs()
-				perGPU := watts / float64(in.TP.GPUs())
-				res.GPUPowerW.Add(perGPU)
-				poolGPUs[in.TP] += float64(in.TP.GPUs())
-				pFreqNum += float64(in.freqCtl.Current()) * float64(in.TP.GPUs())
-				pFreqDen += float64(in.TP.GPUs())
-
-				// Attribute energy to classes by served mix.
-				tickJ := watts * opts.Tick
-				res.EnergyJ += tickJ
-				cls := workload.Classify(int(in.mixIn), int(in.mixOut))
-				res.EnergyByClassJ[cls] += tickJ
-				res.EnergySeries.Accumulate(float64(now), tickJ)
-
-				// Latency samples for requests assigned this tick.
-				if a != nil {
-					c.sampleLatencies(in, st, a.requests, res)
-				}
-			}
-			// Per-pool tracked series.
-			for _, cls := range c.tracked {
-				if c.pooling.classPool[cls] == p.Index {
-					if pFreqDen > 0 {
-						res.PoolFreqSeries[cls].Observe(float64(now), pFreqNum/pFreqDen, pFreqDen)
-					}
-					for _, tp := range model.TPChoices {
-						res.PoolShardSeries[cls][tp].Observe(float64(now), poolGPUs[tp], 1)
-					}
-					res.PoolLoadSeries[cls].Observe(float64(now), float64(p.arrivalsThisTick)/opts.Tick, 1)
-				}
-			}
-			for _, tp := range model.TPChoices {
-				res.ShardSeries[tp].Observe(float64(now), poolGPUs[tp], 1)
-			}
-			freqNum += pFreqNum
-			freqDen += pFreqDen
-
-			// Feed the load predictor.
-			for _, cls := range p.Classes {
-				share := float64(p.arrivalsThisTick) / opts.Tick / float64(len(p.Classes))
-				s.loadPred.Observe(now, cls, share)
-			}
-			p.arrivalsThisTick = 0
-		}
-		res.ClusterPowerW.Add(clusterPower)
-		res.PowerSeries.Observe(float64(now), clusterPower, 1)
-		if freqDen > 0 {
-			res.FreqSeries.Observe(float64(now), freqNum/freqDen, 1)
+			p.emergencyFlag = false
 		}
 	}
 
-	res.AvgServers = res.GPUSeconds / 8 / res.Duration
+	// Scale-in and re-sharding park instances stateOff; drop them now so
+	// nothing downstream ever scans a dead instance again.
+	c.compactPools()
+
+	// Route this tick's arrivals (§IV-D predictive scheduling).
+	sm.reqs = sm.reqs[:0]
+	for sm.idx < len(sm.tr) && sm.tr[sm.idx].At < tickEnd {
+		e := sm.tr[sm.idx]
+		sm.idx++
+		sm.reqs = append(sm.reqs, workload.Request{
+			ID:           uint64(sm.idx),
+			Arrival:      e.At,
+			InputTokens:  e.InputTokens,
+			OutputTokens: e.OutputTokens,
+			SLOScale:     opts.SLOScale,
+		})
+		req := &sm.reqs[len(sm.reqs)-1]
+		req.PredictedClass = s.lenPred.PredictClass(e.InputTokens, e.OutputTokens)
+		pool := c.route(req, now)
+		// Misprediction handling (§IV-D): the engine discovers the
+		// true length as generation proceeds. An under-predicted
+		// request is re-steered to the correct pool: the wrong pool
+		// has already spent admission and prefill work on it (wasted
+		// energy), and the request pays a detection delay.
+		if trueCls := req.Class(); trueCls != req.PredictedClass {
+			wrongPool := pool
+			if wi := wrongPool.pickInstance(s, now); wi != nil {
+				wi.tickAssigned += 0.5 // wasted prefill/admission work
+			}
+			if trueCls.Output() > req.PredictedClass.Output() {
+				// Under-estimate: move to the correct pool once the
+				// output outgrows the prediction.
+				req.PredictedClass = trueCls
+				pool = c.route(req, now)
+				st := c.instanceSteady(c.earliestOrAny(wrongPool))
+				req.SteerPenalty = 3*st.IterTime + 0.05
+			}
+			// Over-estimates stay where they were routed: they run
+			// with sub-optimal energy but unaffected latency.
+		}
+		in := pool.pickInstance(s, now)
+		if in == nil {
+			// Every instance is transitioning: queue on the one
+			// that returns first rather than dropping (the request
+			// pays the wait in its TTFT).
+			in = earliestReady(pool)
+		}
+		if in == nil {
+			// Pool has nothing at all: squash (frontend retry, §IV-D).
+			req.Squashed = true
+			res.Squashed++
+			res.Requests++
+			continue
+		}
+		a := sm.assignFor(in.ID)
+		a.n++
+		a.inTok += float64(e.InputTokens)
+		a.outTok += float64(e.OutputTokens)
+		a.reqs = append(a.reqs, int32(len(sm.reqs)-1))
+		in.tickAssigned++
+		pool.arrivalsThisTick++
+		if pool.observedSince == 0 {
+			pool.observedSince = now
+			if pool.observedSince == 0 {
+				pool.observedSince = simclock.Time(1e-9)
+			}
+		}
+		res.Requests++
+	}
+
+	// Update per-instance rates, run instance managers, integrate
+	// energy, and sample latencies.
+	clusterPower := 0.0
+	var freqNum, freqDen float64
 	for _, p := range c.pools {
+		var poolGPUs [3]float64 // indexed by tpIdx over model.TPChoices
+		var pFreqNum, pFreqDen float64
+		for _, in := range p.Instances {
+			if in.state == stateOff {
+				continue
+			}
+			var a *assign
+			if in.ID < len(sm.assigns) && sm.assigns[in.ID].tick == s.curTick {
+				a = &sm.assigns[in.ID]
+			}
+			var tickRate float64
+			if a != nil {
+				tickRate = a.n / opts.Tick
+				in.observeMix(a.inTok/a.n, a.outTok/a.n, a.n)
+			}
+			const ew = 0.3
+			in.rate = ew*tickRate + (1-ew)*in.rate
+			in.tickAssigned = 0
+			if in.rate < 1e-6 {
+				in.rate = 0
+			}
+
+			// Instance manager (§IV-B scale-up/down + §IV-D
+			// emergency handling).
+			c.instanceManager(in, now, res)
+
+			// Steady state for this tick.
+			st := c.instanceSteady(in)
+			if in.rate > 0.01 && st.Rho > 0.01 {
+				in.capEst = in.rate / st.Rho * maxCapFraction
+			} else {
+				in.capEst = 0 // fall back to profile capacity
+			}
+
+			// Backlog dynamics: demand beyond capacity queues.
+			cap := in.capacity(s)
+			if in.rate > cap {
+				in.backlog += (in.rate - cap) * opts.Tick
+			} else if in.backlog > 0 {
+				drain := (cap - in.rate) * opts.Tick
+				in.backlog = math.Max(0, in.backlog-drain)
+			}
+
+			// Energy for the tick.
+			watts := st.Power
+			if in.state == stateProvisioning {
+				watts = gpu.H100.IdlePower * float64(in.TP.GPUs())
+			}
+			clusterPower += watts
+			res.GPUSeconds += float64(in.TP.GPUs()) * opts.Tick
+			perGPU := watts / float64(in.TP.GPUs())
+			res.GPUPowerW.Add(perGPU)
+			poolGPUs[tpIdx(in.TP)] += float64(in.TP.GPUs())
+			pFreqNum += float64(in.freqCtl.Current()) * float64(in.TP.GPUs())
+			pFreqDen += float64(in.TP.GPUs())
+
+			// Attribute energy to classes by served mix.
+			tickJ := watts * opts.Tick
+			res.EnergyJ += tickJ
+			cls := workload.Classify(int(in.mixIn), int(in.mixOut))
+			res.EnergyByClassJ[cls] += tickJ
+			res.EnergySeries.Accumulate(float64(now), tickJ)
+
+			// Latency samples for requests assigned this tick.
+			if a != nil {
+				sm.sampleLatencies(in, st, a.reqs)
+			}
+		}
+		// Per-pool tracked series.
+		for _, cls := range c.tracked {
+			if c.pooling.classPool[cls] == p.Index {
+				if pFreqDen > 0 {
+					res.PoolFreqSeries[cls].Observe(float64(now), pFreqNum/pFreqDen, pFreqDen)
+				}
+				for ti, tp := range model.TPChoices {
+					res.PoolShardSeries[cls][tp].Observe(float64(now), poolGPUs[ti], 1)
+				}
+				res.PoolLoadSeries[cls].Observe(float64(now), float64(p.arrivalsThisTick)/opts.Tick, 1)
+			}
+		}
+		for ti, tp := range model.TPChoices {
+			res.ShardSeries[tp].Observe(float64(now), poolGPUs[ti], 1)
+		}
+		freqNum += pFreqNum
+		freqDen += pFreqDen
+
+		// Feed the load predictor.
+		for _, cls := range p.Classes {
+			share := float64(p.arrivalsThisTick) / opts.Tick / float64(len(p.Classes))
+			s.loadPred.Observe(now, cls, share)
+		}
+		p.arrivalsThisTick = 0
+	}
+	res.ClusterPowerW.Add(clusterPower)
+	res.PowerSeries.Observe(float64(now), clusterPower, 1)
+	if freqDen > 0 {
+		res.FreqSeries.Observe(float64(now), freqNum/freqDen, 1)
+	}
+}
+
+// finish closes out the run-level aggregates.
+func (sm *simulation) finish() {
+	res := sm.res
+	res.AvgServers = res.GPUSeconds / 8 / res.Duration
+	res.FreqChanges = sm.c.retiredFreqSets
+	for _, p := range sm.c.pools {
 		for _, in := range p.Instances {
 			res.FreqChanges += in.freqCtl.Sets()
 		}
 	}
-	return res
+	sm.s.curTick = 0
+}
+
+// tpChoiceIdx maps a TP degree to its index in model.TPChoices for
+// array-indexed per-tick accumulators ([len(model.TPChoices)]float64).
+var tpChoiceIdx = func() [model.TP8 + 1]int8 {
+	var m [model.TP8 + 1]int8
+	for i := range m {
+		m[i] = -1
+	}
+	for i, tp := range model.TPChoices {
+		m[tp] = int8(i)
+	}
+	return m
+}()
+
+// tpIdx resolves an instance's TP to its TPChoices slot; a TP outside the
+// controller knob space would silently corrupt the shard series, so it
+// fails loudly instead.
+func tpIdx(tp model.TP) int {
+	i := tpChoiceIdx[tp]
+	if i < 0 {
+		panic("core: instance TP outside model.TPChoices")
+	}
+	return int(i)
+}
+
+// compactPools removes stateOff instances from every pool. Scale-in and
+// re-sharding only mark instances off; without compaction every later
+// tick re-scans the corpses (rate updates, settle, earliestReady,
+// placement), so week-long runs degrade as reconfigurations accumulate.
+// Relative order of live instances is preserved, keeping iteration — and
+// therefore the simulation — deterministic. Retired frequency-change
+// counts are folded into the cluster so Result.FreqChanges stays exact.
+func (c *Cluster) compactPools() {
+	for _, p := range c.pools {
+		live := p.Instances[:0]
+		for _, in := range p.Instances {
+			if in.state == stateOff {
+				c.retiredFreqSets += in.freqCtl.Sets()
+				continue
+			}
+			live = append(live, in)
+		}
+		if len(live) == len(p.Instances) {
+			continue
+		}
+		// Clear the tail so dropped instances can be collected.
+		for i := len(live); i < len(p.Instances); i++ {
+			p.Instances[i] = nil
+		}
+		p.Instances = live
+	}
 }
 
 // traceTemplate builds a per-class rate function from a trace, bucketed at
-// the cluster epoch.
+// the cluster epoch. The table is a dense slice sized from the trace
+// horizon; queries outside it return 0 (as the map version did for
+// untouched slots).
 func traceTemplate(tr trace.Trace, slotWidth float64) func(simclock.Time, workload.Class) float64 {
-	rates := map[int]*[workload.NumClasses]float64{}
+	if len(tr) == 0 {
+		return func(simclock.Time, workload.Class) float64 { return 0 }
+	}
+	rates := make([][workload.NumClasses]float64, int(float64(traceHorizon(tr))/slotWidth)+1)
 	for _, e := range tr {
-		slot := int(float64(e.At) / slotWidth)
-		if rates[slot] == nil {
-			rates[slot] = &[workload.NumClasses]float64{}
-		}
-		rates[slot][e.Class()]++
+		rates[int(float64(e.At)/slotWidth)][e.Class()]++
 	}
 	return func(t simclock.Time, c workload.Class) float64 {
-		r := rates[int(float64(t)/slotWidth)]
-		if r == nil {
+		s := int(float64(t) / slotWidth)
+		if s < 0 || s >= len(rates) {
 			return 0
 		}
-		return r[c] / slotWidth
+		return rates[s][c] / slotWidth
 	}
 }
 
@@ -615,34 +799,61 @@ func (c *Cluster) poolCounter(cls workload.Class) uint64 {
 	return p.rrCounter
 }
 
-// instanceSteady evaluates the instance's operating point for its current
-// mix, rate, and configuration. Results are cached on a geometric grid of
-// (rate, shape) so week-long simulations stay fast.
-func (c *Cluster) instanceSteady(in *Instance) perfmodel.Steady {
-	inTok := avgOr(in.mixIn, 512)
-	outTok := avgOr(in.mixOut, 200)
-	s := c.shared
-	if in.rate <= 0 {
-		return perfmodel.SteadyStateSLO(in.config(c.opts.Model), 0, int(inTok), int(outTok), c.opts.SLOScale)
-	}
+// rateBucketStep is the geometric grid for request rates (~8% buckets).
+const rateBucketStep = 0.08
+
+// zeroRateBucket is the sentinel rate bucket for idle instances.
+const zeroRateBucket = math.MinInt32
+
+// steadyKeyFor grades an instance's operating point onto the geometric
+// (rate, shape) grid.
+func steadyKeyFor(tp model.TP, f gpu.Freq, rate, inTok, outTok float64) steadyKey {
 	key := steadyKey{
-		tp:    in.TP,
-		freq:  in.freqCtl.Current(),
-		rateB: int(math.Round(math.Log(in.rate+1e-9) / 0.08)),
-		inB:   int(math.Round(math.Log(inTok) / 0.12)),
-		outB:  int(math.Round(math.Log(outTok) / 0.12)),
+		tp:    tp,
+		freq:  f,
+		rateB: zeroRateBucket,
+		inB:   int(math.Round(math.Log(inTok) / shapeBucketStep)),
+		outB:  int(math.Round(math.Log(outTok) / shapeBucketStep)),
 	}
+	if rate > 0 {
+		key.rateB = int(math.Round(math.Log(rate+1e-9) / rateBucketStep))
+	}
+	return key
+}
+
+// instanceSteady evaluates the instance's operating point for its current
+// mix, rate, and configuration. The instance memoizes its last answer and
+// revalidates by key, so the shared (rate, shape)-grid cache is consulted
+// only when the instance moves to a new bucket.
+func (c *Cluster) instanceSteady(in *Instance) perfmodel.Steady {
+	key := steadyKeyFor(in.TP, in.freqCtl.Current(), in.rate,
+		avgOr(in.mixIn, 512), avgOr(in.mixOut, 200))
+	if in.stValid && key == in.stKeyC {
+		return in.stC
+	}
+	st := c.steadyLookup(key)
+	in.stKeyC, in.stC, in.stValid = key, st, true
+	return st
+}
+
+// steadyLookup resolves a bucketed operating point through the shared
+// cache, computing the closed-form steady state on a miss.
+func (c *Cluster) steadyLookup(key steadyKey) perfmodel.Steady {
+	s := c.shared
 	if s.steadyCache == nil {
 		s.steadyCache = map[steadyKey]perfmodel.Steady{}
 	}
 	if st, ok := s.steadyCache[key]; ok {
 		return st
 	}
+	rate := 0.0
+	if key.rateB != zeroRateBucket {
+		rate = math.Exp(float64(key.rateB) * rateBucketStep)
+	}
 	cfg := perfmodel.Config{Model: c.opts.Model, TP: key.tp, Freq: key.freq}
-	st := perfmodel.SteadyStateSLO(cfg,
-		math.Exp(float64(key.rateB)*0.08),
-		int(math.Exp(float64(key.inB)*0.12)),
-		int(math.Exp(float64(key.outB)*0.12)),
+	st := perfmodel.SteadyStateSLO(cfg, rate,
+		int(math.Exp(float64(key.inB)*shapeBucketStep)),
+		int(math.Exp(float64(key.outB)*shapeBucketStep)),
 		c.opts.SLOScale)
 	s.steadyCache[key] = st
 	return st
@@ -714,18 +925,21 @@ func (c *Cluster) instanceManager(in *Instance, now simclock.Time, res *Result) 
 }
 
 // sampleLatencies draws per-request TTFT/TBT from the instance's steady
-// state and judges SLOs against each request's true class.
-func (c *Cluster) sampleLatencies(in *Instance, st perfmodel.Steady, reqs []*workload.Request, res *Result) {
+// state and judges SLOs against each request's true class. reqIdx indexes
+// the tick's pooled request buffer.
+func (sm *simulation) sampleLatencies(in *Instance, st perfmodel.Steady, reqIdx []int32) {
+	c, res := sm.c, sm.res
 	rng := c.shared.rng
 	saturated := !st.Feasible || st.IterTime == 0
 	if saturated {
 		// Overloaded instance: it still serves, at its capacity point,
 		// with the excess showing up as backlog-driven queueing below.
 		capRate := in.capacity(c.shared) * 0.9
-		st = perfmodel.SteadyStateSLO(in.config(c.opts.Model), math.Max(capRate, 0.01),
-			int(avgOr(in.mixIn, 512)), int(avgOr(in.mixOut, 200)), c.opts.SLOScale)
+		st = c.steadyLookup(steadyKeyFor(in.TP, in.freqCtl.Current(),
+			math.Max(capRate, 0.01), avgOr(in.mixIn, 512), avgOr(in.mixOut, 200)))
 	}
-	for _, req := range reqs {
+	for _, ri := range reqIdx {
+		req := &sm.reqs[ri]
 		res.Completed++
 		if st.IterTime == 0 {
 			res.TTFT.Add(req.SLO().TTFT * 3)
@@ -941,12 +1155,17 @@ func provisioningCount(p *Pool) int {
 	return n
 }
 
-// earliestOrAny returns some live instance for state queries.
-func earliestOrAny(p *Pool) *Instance {
+// earliestOrAny returns some live instance for state queries; a pool with
+// nothing at all falls back to a per-cluster probe instance, reused so the
+// per-request hot path never allocates.
+func (c *Cluster) earliestOrAny(p *Pool) *Instance {
 	if in := earliestReady(p); in != nil {
 		return in
 	}
-	return &Instance{TP: model.TP8, freqCtl: gpu.NewFreqController(true), throughputFactor: 1, mixIn: 512, mixOut: 187}
+	if c.steadyProbe == nil {
+		c.steadyProbe = &Instance{TP: model.TP8, freqCtl: gpu.NewFreqController(true), throughputFactor: 1, mixIn: 512, mixOut: 187}
+	}
+	return c.steadyProbe
 }
 
 // earliestReady returns the non-off instance that will serve soonest.

@@ -1,0 +1,38 @@
+package core
+
+import (
+	"testing"
+
+	"dynamollm/internal/profile"
+	"dynamollm/internal/trace"
+)
+
+// benchRun drives one system over a 30-minute high-load window. The
+// -benchmem numbers for these benchmarks are the tick loop's steady-state
+// cost: everything outside the loop (profile building, trace generation)
+// is shared across iterations or excluded by ResetTimer.
+func benchRun(b *testing.B, system string) {
+	b.Helper()
+	repo := profile.NewRepository(nil)
+	tr := trace.OpenSourceHour(45, 11).Window(0, 1800)
+	opts, ok := SystemByName(system)
+	if !ok {
+		b.Fatalf("unknown system %q", system)
+	}
+	opts.Seed = 7
+	opts.WarmLoad = warmConv
+	// Build profiles and caches outside the measurement.
+	RunWithRepo(tr, opts, repo)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := RunWithRepo(tr, opts, repo)
+		if res.Requests == 0 {
+			b.Fatal("empty run")
+		}
+	}
+}
+
+func BenchmarkTickLoopSinglePool(b *testing.B) { benchRun(b, "singlepool") }
+
+func BenchmarkTickLoopDynamoLLM(b *testing.B) { benchRun(b, "dynamollm") }

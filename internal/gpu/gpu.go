@@ -21,23 +21,32 @@ const (
 	FreqStep Freq = 200
 )
 
-// Ladder returns the profiled frequency grid: 800, 1000, …, 1800, 1980 MHz.
-func Ladder() []Freq {
+// ladder is the shared profiled grid; Ladder and Nearest sit on every
+// controller's per-tick path, so neither may allocate.
+var ladder = func() []Freq {
 	var fs []Freq
 	for f := MinFreq; f < MaxFreq; f += FreqStep {
 		fs = append(fs, f)
 	}
 	return append(fs, MaxFreq)
-}
+}()
+
+// Ladder returns the profiled frequency grid: 800, 1000, …, 1800, 1980 MHz.
+// The slice is shared — callers must not modify it.
+func Ladder() []Freq { return ladder }
 
 // CoarseLadder returns the four frequencies the paper's characterization
 // tables use: 0.8, 1.2, 1.6, 2.0 GHz (2.0 is the 1980 MHz boost bin).
 func CoarseLadder() []Freq { return []Freq{800, 1200, 1600, MaxFreq} }
 
-// Nearest snaps an arbitrary frequency onto the ladder.
+// Nearest snaps an arbitrary frequency onto the ladder. Ladder values
+// (the common case on the hot path) return immediately.
 func Nearest(f Freq) Freq {
 	best, bestD := MinFreq, math.Inf(1)
-	for _, g := range Ladder() {
+	for _, g := range ladder {
+		if g == f {
+			return f
+		}
 		if d := math.Abs(float64(g - f)); d < bestD {
 			best, bestD = g, d
 		}

@@ -1,85 +1,142 @@
 // Package metrics provides the measurement utilities the experiments use:
-// exact percentile estimation over recorded samples, time-bucketed series,
-// and weighted time-averages for power accounting.
+// streaming percentile estimation over logarithmic-bin histograms,
+// time-bucketed series, and weighted time-averages for power accounting.
+//
+// Both Dist and Series are built for week-scale simulations: Add/Observe
+// are O(1) and allocation-free in steady state, and memory is bounded by
+// the histogram resolution (Dist) or the simulated horizon (Series), never
+// by the sample count.
 package metrics
 
 import (
 	"fmt"
 	"math"
-	"sort"
 )
 
-// Dist collects samples and answers percentile queries exactly (sorting on
-// demand). The evaluation figures report P50/P90/P99 latencies and powers.
+// Histogram resolution. Bins are geometric with 2% width over
+// [histMin, histMin*histGrowth^histBins); any positive sample therefore
+// lands in a bin whose geometric midpoint is within sqrt(histGrowth)-1
+// (<1%) of the sample's value. 2200 bins cover 1e-9 .. ~8e9, far beyond
+// every latency (seconds) and power (watts) signal the simulator records.
+const (
+	histGrowth = 1.02
+	histMin    = 1e-9
+	histBins   = 2200
+)
+
+// MaxRelativeError is the documented worst-case relative error of
+// Percentile against the sample at the selected rank: half a bin width,
+// sqrt(1.02)-1 < 1%.
+var MaxRelativeError = math.Sqrt(histGrowth) - 1
+
+var (
+	logGrowth    = math.Log(histGrowth)
+	invLogGrowth = 1 / math.Log(histGrowth)
+)
+
+// Dist collects samples into a fixed-size logarithmic-bin histogram and
+// answers percentile queries in O(bins), independent of the sample count.
+// The evaluation figures report P50/P90/P99 latencies and powers.
+//
+// Percentile returns a value within MaxRelativeError (<1%) of the sample
+// at the nearest rank. Min, Max, Mean, and N are exact. Samples are
+// expected to be non-negative (latencies, watts, joules); values at or
+// below histMin share the lowest bin.
 type Dist struct {
-	samples []float64
-	sorted  bool
+	counts [histBins]int64
+	n      int64
+	sum    float64
+	min    float64
+	max    float64
 }
 
 // NewDist returns an empty distribution.
 func NewDist() *Dist { return &Dist{} }
 
-// Add records a sample.
+// bin maps a sample to its histogram bin.
+func bin(v float64) int {
+	if v <= histMin {
+		return 0
+	}
+	b := int(math.Log(v/histMin) * invLogGrowth)
+	if b >= histBins {
+		b = histBins - 1
+	}
+	return b
+}
+
+// binValue returns the geometric midpoint of a bin.
+func binValue(b int) float64 {
+	return histMin * math.Exp((float64(b)+0.5)*logGrowth)
+}
+
+// Add records a sample in O(1) without allocating.
 func (d *Dist) Add(v float64) {
-	d.samples = append(d.samples, v)
-	d.sorted = false
+	if d.n == 0 || v < d.min {
+		d.min = v
+	}
+	if d.n == 0 || v > d.max {
+		d.max = v
+	}
+	d.n++
+	d.sum += v
+	d.counts[bin(v)]++
 }
 
 // N returns the sample count.
-func (d *Dist) N() int { return len(d.samples) }
+func (d *Dist) N() int { return int(d.n) }
 
-// Percentile returns the p-th percentile (0 <= p <= 100) using linear
-// interpolation between closest ranks. It returns 0 for an empty
-// distribution.
+// Percentile returns the p-th percentile (0 <= p <= 100): the histogram
+// bin holding the sample at rank ceil(p/100*(n-1)), evaluated at its
+// geometric midpoint and clamped to the exact observed [min, max]. It
+// returns 0 for an empty distribution.
 func (d *Dist) Percentile(p float64) float64 {
-	n := len(d.samples)
-	if n == 0 {
+	if d.n == 0 {
 		return 0
-	}
-	if !d.sorted {
-		sort.Float64s(d.samples)
-		d.sorted = true
 	}
 	if p <= 0 {
-		return d.samples[0]
+		return d.min
 	}
 	if p >= 100 {
-		return d.samples[n-1]
+		return d.max
 	}
-	rank := p / 100 * float64(n-1)
-	lo := int(math.Floor(rank))
-	hi := int(math.Ceil(rank))
-	if lo == hi {
-		return d.samples[lo]
-	}
-	frac := rank - float64(lo)
-	return d.samples[lo]*(1-frac) + d.samples[hi]*frac
-}
-
-// Mean returns the arithmetic mean, or 0 when empty.
-func (d *Dist) Mean() float64 {
-	if len(d.samples) == 0 {
-		return 0
-	}
-	sum := 0.0
-	for _, v := range d.samples {
-		sum += v
-	}
-	return sum / float64(len(d.samples))
-}
-
-// Max returns the largest sample, or 0 when empty.
-func (d *Dist) Max() float64 {
-	if len(d.samples) == 0 {
-		return 0
-	}
-	m := d.samples[0]
-	for _, v := range d.samples {
-		if v > m {
-			m = v
+	rank := p / 100 * float64(d.n-1)
+	var cum int64
+	for b := 0; b < histBins; b++ {
+		c := d.counts[b]
+		if c == 0 {
+			continue
 		}
+		// Samples in this bin occupy ranks [cum, cum+c-1].
+		if float64(cum+c-1) >= rank {
+			v := binValue(b)
+			if v < d.min {
+				v = d.min
+			}
+			if v > d.max {
+				v = d.max
+			}
+			return v
+		}
+		cum += c
 	}
-	return m
+	return d.max
+}
+
+// Mean returns the arithmetic mean, or 0 when empty. Exact.
+func (d *Dist) Mean() float64 {
+	if d.n == 0 {
+		return 0
+	}
+	return d.sum / float64(d.n)
+}
+
+// Max returns the largest sample, or 0 when empty. Exact.
+func (d *Dist) Max() float64 {
+	if d.n == 0 {
+		return 0
+	}
+	return d.max
 }
 
 // Summary is the P50/P90/P99 triple the paper's figures report.
@@ -105,10 +162,18 @@ func (s Summary) String() string {
 // Series accumulates (time, value) observations into fixed-width buckets,
 // averaging within each bucket. Used for the "X over time" figures
 // (frequency, GPU counts, energy per interval, carbon).
+//
+// Buckets are a dense slice anchored at the first observed bucket, so
+// Observe/Accumulate are O(1) and allocation-free once the horizon has
+// been reached (or pre-sized with Reserve).
 type Series struct {
-	Width  float64 // bucket width in seconds
-	sums   map[int]float64
-	counts map[int]float64
+	Width float64 // bucket width in seconds
+
+	base    int // bucket index of slot 0
+	started bool
+	sums    []float64
+	counts  []float64
+	touched []bool
 }
 
 // NewSeries returns a series with the given bucket width in seconds.
@@ -116,7 +181,83 @@ func NewSeries(width float64) *Series {
 	if width <= 0 {
 		panic("metrics: non-positive bucket width")
 	}
-	return &Series{Width: width, sums: map[int]float64{}, counts: map[int]float64{}}
+	return &Series{Width: width}
+}
+
+// slot resolves the dense index for time t, growing the bucket storage as
+// needed. Observations earlier than the first observed bucket shift the
+// anchor (rare: simulations advance monotonically).
+func (s *Series) slot(t float64) int {
+	b := int(math.Floor(t / s.Width))
+	if !s.started {
+		s.base = b
+		s.started = true
+	}
+	i := b - s.base
+	if i < 0 {
+		shift := -i
+		s.sums = prepend(s.sums, shift)
+		s.counts = prepend(s.counts, shift)
+		s.touched = prependBool(s.touched, shift)
+		s.base = b
+		i = 0
+	}
+	if i >= len(s.sums) {
+		s.grow(i + 1)
+	}
+	return i
+}
+
+func prepend(xs []float64, shift int) []float64 {
+	out := make([]float64, len(xs)+shift)
+	copy(out[shift:], xs)
+	return out
+}
+
+func prependBool(xs []bool, shift int) []bool {
+	out := make([]bool, len(xs)+shift)
+	copy(out[shift:], xs)
+	return out
+}
+
+// grow extends the bucket storage to at least n slots.
+func (s *Series) grow(n int) {
+	if n <= len(s.sums) {
+		return
+	}
+	if n <= cap(s.sums) {
+		s.sums = s.sums[:n]
+		s.counts = s.counts[:n]
+		s.touched = s.touched[:n]
+		return
+	}
+	c := 2 * cap(s.sums)
+	if c < n {
+		c = n
+	}
+	sums := make([]float64, n, c)
+	copy(sums, s.sums)
+	counts := make([]float64, n, c)
+	copy(counts, s.counts)
+	touched := make([]bool, n, c)
+	copy(touched, s.touched)
+	s.sums, s.counts, s.touched = sums, counts, touched
+}
+
+// Reserve pre-sizes the bucket storage to cover [0, tMax] (or
+// [anchor, tMax] if observations have already arrived), so subsequent
+// Observe/Accumulate calls within the horizon never allocate. A series
+// reserved before any observation is anchored at t=0, matching the
+// simulator's non-negative clock; negative times still work via the
+// prepend path.
+func (s *Series) Reserve(tMax float64) {
+	if !s.started {
+		s.base = 0
+		s.started = true
+	}
+	if i := int(math.Floor(tMax/s.Width)) - s.base; i >= len(s.sums) {
+		s.grow(i + 1)
+	}
 }
 
 // Observe records value at time t (seconds), weighted by w.
@@ -124,19 +265,18 @@ func (s *Series) Observe(t, value, w float64) {
 	if w <= 0 {
 		return
 	}
-	b := int(t / s.Width)
-	s.sums[b] += value * w
-	s.counts[b] += w
+	i := s.slot(t)
+	s.sums[i] += value * w
+	s.counts[i] += w
+	s.touched[i] = true
 }
 
 // Accumulate adds value into the bucket at time t without averaging
 // (for additive quantities like energy per interval).
 func (s *Series) Accumulate(t, value float64) {
-	b := int(t / s.Width)
-	s.sums[b] += value
-	if _, ok := s.counts[b]; !ok {
-		s.counts[b] = 0
-	}
+	i := s.slot(t)
+	s.sums[i] += value
+	s.touched[i] = true
 }
 
 // Point is one bucketed observation.
@@ -148,18 +288,16 @@ type Point struct {
 // Points returns the bucketed series in time order. Averaged buckets divide
 // by weight; accumulated buckets report raw sums.
 func (s *Series) Points() []Point {
-	keys := make([]int, 0, len(s.sums))
-	for k := range s.sums {
-		keys = append(keys, k)
-	}
-	sort.Ints(keys)
-	pts := make([]Point, 0, len(keys))
-	for _, k := range keys {
-		v := s.sums[k]
-		if c := s.counts[k]; c > 0 {
+	pts := make([]Point, 0, len(s.sums))
+	for i, ok := range s.touched {
+		if !ok {
+			continue
+		}
+		v := s.sums[i]
+		if c := s.counts[i]; c > 0 {
 			v /= c
 		}
-		pts = append(pts, Point{Time: float64(k) * s.Width, Value: v})
+		pts = append(pts, Point{Time: float64(s.base+i) * s.Width, Value: v})
 	}
 	return pts
 }

@@ -9,18 +9,51 @@ import (
 	"dynamollm/internal/simclock"
 )
 
-func TestPercentileExactRanks(t *testing.T) {
+// relErr returns |got-want|/|want| (absolute error when want == 0).
+func relErr(got, want float64) float64 {
+	if want == 0 {
+		return math.Abs(got)
+	}
+	return math.Abs(got-want) / math.Abs(want)
+}
+
+// exactNearestRank is the reference implementation of Dist.Percentile's
+// documented semantics: the sample at rank ceil(p/100*(n-1)).
+func exactNearestRank(sorted []float64, p float64) float64 {
+	n := len(sorted)
+	if n == 0 {
+		return 0
+	}
+	if p <= 0 {
+		return sorted[0]
+	}
+	if p >= 100 {
+		return sorted[n-1]
+	}
+	rank := int(math.Ceil(p / 100 * float64(n-1)))
+	if rank >= n {
+		rank = n - 1
+	}
+	return sorted[rank]
+}
+
+func TestPercentileWithinErrorBound(t *testing.T) {
 	d := NewDist()
+	vals := make([]float64, 0, 100)
 	for i := 1; i <= 100; i++ {
 		d.Add(float64(i))
+		vals = append(vals, float64(i))
 	}
-	cases := []struct{ p, want float64 }{
-		{0, 1}, {100, 100}, {50, 50.5}, {99, 99.01},
-	}
-	for _, c := range cases {
-		if got := d.Percentile(c.p); math.Abs(got-c.want) > 0.011 {
-			t.Errorf("P%v = %v, want ~%v", c.p, got, c.want)
+	sort.Float64s(vals)
+	for _, p := range []float64{0, 10, 50, 90, 99, 100} {
+		want := exactNearestRank(vals, p)
+		if got := d.Percentile(p); relErr(got, want) > MaxRelativeError {
+			t.Errorf("P%v = %v, want within %.2f%% of %v", p, got, MaxRelativeError*100, want)
 		}
+	}
+	// The extremes are exact.
+	if d.Percentile(0) != 1 || d.Percentile(100) != 100 {
+		t.Errorf("P0/P100 = %v/%v, want exact 1/100", d.Percentile(0), d.Percentile(100))
 	}
 }
 
@@ -41,20 +74,23 @@ func TestPercentileSingle(t *testing.T) {
 	}
 }
 
-// Property: percentile agrees with a sort-based reference and is monotone.
+// Property: every percentile is within the documented relative-error bound
+// of the exact nearest-rank value, monotone in p, and inside the sample
+// range.
 func TestPercentileAgainstReference(t *testing.T) {
 	f := func(seed uint64, n uint8) bool {
 		r := simclock.NewRNG(seed)
-		count := int(n%50) + 2
+		count := int(n%200) + 2
 		d := NewDist()
 		vals := make([]float64, count)
 		for i := range vals {
-			vals[i] = r.Float64() * 100
+			// Span several orders of magnitude, like latencies and watts.
+			vals[i] = math.Exp(r.Float64()*12 - 6)
 			d.Add(vals[i])
 		}
 		sort.Float64s(vals)
 		prev := math.Inf(-1)
-		for p := 0.0; p <= 100; p += 7 {
+		for p := 0.0; p <= 100; p += 3.7 {
 			got := d.Percentile(p)
 			if got < prev-1e-12 {
 				return false // not monotone in p
@@ -63,15 +99,18 @@ func TestPercentileAgainstReference(t *testing.T) {
 			if got < vals[0]-1e-12 || got > vals[count-1]+1e-12 {
 				return false // outside sample range
 			}
+			if relErr(got, exactNearestRank(vals, p)) > MaxRelativeError {
+				return false // beyond the documented error bound
+			}
 		}
 		return true
 	}
-	if err := quick.Check(f, nil); err != nil {
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
 		t.Error(err)
 	}
 }
 
-func TestAddAfterQueryResorts(t *testing.T) {
+func TestLateInsertMovesMin(t *testing.T) {
 	d := NewDist()
 	d.Add(5)
 	_ = d.Percentile(50)
@@ -97,6 +136,22 @@ func TestMeanMax(t *testing.T) {
 	}
 }
 
+func TestZeroSamples(t *testing.T) {
+	d := NewDist()
+	d.Add(0)
+	d.Add(0)
+	d.Add(10)
+	if d.Percentile(0) != 0 {
+		t.Errorf("P0 = %v, want exact 0", d.Percentile(0))
+	}
+	if got := d.Percentile(10); got > 1e-8 {
+		t.Errorf("P10 = %v, want ~0", got)
+	}
+	if d.Max() != 10 {
+		t.Errorf("Max = %v, want 10", d.Max())
+	}
+}
+
 func TestSummarize(t *testing.T) {
 	d := NewDist()
 	for i := 0; i < 1000; i++ {
@@ -108,6 +163,18 @@ func TestSummarize(t *testing.T) {
 	}
 	if s.String() == "" {
 		t.Error("empty String()")
+	}
+}
+
+// Dist.Add must not allocate: the tick loop calls it per request.
+func TestDistAddAllocationFree(t *testing.T) {
+	d := NewDist()
+	v := 0.001
+	if avg := testing.AllocsPerRun(1000, func() {
+		d.Add(v)
+		v *= 1.001
+	}); avg != 0 {
+		t.Errorf("Dist.Add allocates %v per op, want 0", avg)
 	}
 }
 
@@ -152,6 +219,50 @@ func TestSeriesAccumulate(t *testing.T) {
 	}
 	if s.Total() != 13 {
 		t.Errorf("total = %v, want 13", s.Total())
+	}
+}
+
+// Buckets only ever touched by Accumulate(t, 0) must still appear in
+// Points (presence means "observed", even at value zero).
+func TestSeriesAccumulateZeroMarksBucket(t *testing.T) {
+	s := NewSeries(60)
+	s.Accumulate(10, 0)
+	pts := s.Points()
+	if len(pts) != 1 || pts[0].Value != 0 {
+		t.Errorf("points = %v, want one zero-valued bucket", pts)
+	}
+}
+
+// Observations earlier than the anchor bucket and gaps between buckets
+// must both round-trip through Points in time order.
+func TestSeriesOutOfOrderAndGaps(t *testing.T) {
+	s := NewSeries(10)
+	s.Observe(50, 5, 1)
+	s.Observe(5, 1, 1)   // before the anchor
+	s.Observe(200, 2, 1) // far past it
+	pts := s.Points()
+	if len(pts) != 3 {
+		t.Fatalf("points = %v", pts)
+	}
+	if pts[0].Time != 0 || pts[0].Value != 1 ||
+		pts[1].Time != 50 || pts[1].Value != 5 ||
+		pts[2].Time != 200 || pts[2].Value != 2 {
+		t.Errorf("points = %v", pts)
+	}
+}
+
+// Series.Observe must not allocate once the horizon is reserved.
+func TestSeriesObserveAllocationFree(t *testing.T) {
+	s := NewSeries(60)
+	s.Observe(0, 1, 1)
+	s.Reserve(100 * 3600)
+	tm := 0.0
+	if avg := testing.AllocsPerRun(1000, func() {
+		s.Observe(tm, 5, 1)
+		s.Accumulate(tm, 1)
+		tm += 300
+	}); avg != 0 {
+		t.Errorf("Series.Observe allocates %v per op after Reserve, want 0", avg)
 	}
 }
 
