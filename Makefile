@@ -6,9 +6,9 @@ GO ?= go
 # Sequence number for committed benchmark baselines (BENCH_<N>.json).
 N ?= dev
 
-.PHONY: all build test lint bench bench-json profile smoke
+.PHONY: all build test lint docs-check bench bench-json profile smoke scenario-smoke
 
-all: build lint test
+all: build lint docs-check test
 
 build:
 	$(GO) build ./...
@@ -40,6 +40,16 @@ profile:
 	$(GO) run ./cmd/dynamobench -quick -cpuprofile cpu.prof -memprofile mem.prof fig6 > /dev/null
 	@echo "wrote cpu.prof mem.prof; inspect with: go tool pprof -http=:8080 cpu.prof"
 
+# Docs gate: gofmt/vet (via lint) plus a package-comment audit, so every
+# internal package stays documented.
+docs-check:
+	./scripts/check_package_comments.sh
+
 # End-to-end: regenerate the paper's headline numbers through the real CLI.
 smoke:
 	$(GO) run ./cmd/dynamobench -quick headline
+
+# End-to-end: the scenario sweep (library x six systems) through the real
+# CLI; CI uploads the output as an artifact.
+scenario-smoke:
+	$(GO) run ./cmd/dynamobench -quick scenarios | tee scenario-sweep.txt

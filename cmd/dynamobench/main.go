@@ -1,17 +1,23 @@
 // Command dynamobench regenerates the tables and figures of the DynamoLLM
-// paper's evaluation on the simulated substrate.
+// paper's evaluation on the simulated substrate, and runs the scenario
+// engine's injected cluster conditions.
 //
 // Usage:
 //
 //	dynamobench [flags] <experiment>...
 //	dynamobench all
+//	dynamobench scenario <name-or-json-file>...
+//	dynamobench scenario -list
 //
 // Experiments: table1 table2 table3 table4 table5 table6
 //
 //	fig1 fig2 fig3 fig6 fig7 fig8 fig9 fig10 fig11 fig12
-//	fig13 fig14 fig15 fig16 cost headline
+//	fig13 fig14 fig15 fig16 cost headline scenarios
 //
-// (fig6..fig10 share one six-system cluster simulation.)
+// (fig6..fig10 share one six-system cluster simulation; "scenarios" runs
+// the whole built-in scenario library across all six systems, and
+// "scenario <name>" runs one — a library name like flashcrowd, or a path
+// to a JSON scenario definition.)
 package main
 
 import (
@@ -20,9 +26,12 @@ import (
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"strings"
 	"time"
 
+	"dynamollm/internal/core"
 	"dynamollm/internal/expt"
+	"dynamollm/internal/scenario"
 )
 
 func main() {
@@ -39,7 +48,9 @@ func realMain() int {
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the selected experiments to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile taken after the selected experiments to this file")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: dynamobench [flags] <experiment>... | all\n\nexperiments: %v\n\nflags:\n", names())
+		fmt.Fprintf(os.Stderr, "usage: dynamobench [flags] <experiment>... | all | scenario <name-or-json-file>...\n\n"+
+			"experiments: %v\nscenarios:   %v (or -list for details)\n\nflags:\n",
+			names(), scenario.Names())
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -83,6 +94,12 @@ func realMain() int {
 	cfg.Quick = *quick
 	cfg.Parallelism = *jobs
 
+	// Scenario mode: run named (or JSON-defined) scenarios through the
+	// six systems instead of regenerating paper figures.
+	if args[0] == "scenario" {
+		return runScenarios(cfg, args[1:])
+	}
+
 	if len(args) == 1 && args[0] == "all" {
 		args = names()
 	}
@@ -115,8 +132,51 @@ func names() []string {
 		"table1", "table2", "table3", "table4", "table5", "table6",
 		"fig1", "fig2", "fig3", "fig6", "fig7", "fig8", "fig9", "fig10",
 		"fig11", "fig12", "fig13", "fig14", "fig15", "fig16",
-		"cost", "headline",
+		"cost", "headline", "scenarios",
 	}
+}
+
+// runScenarios resolves each argument to a scenario — a built-in library
+// name, or a path to a JSON definition — and compares the six systems
+// under it. "-list" (or no arguments) prints the library instead.
+func runScenarios(cfg expt.Config, args []string) int {
+	if len(args) == 0 || args[0] == "-list" || args[0] == "--list" {
+		fmt.Println("built-in scenarios:")
+		for _, sc := range scenario.Library() {
+			fmt.Printf("  %-13s %4.2f days  %-12s %s\n", sc.Name, sc.Days, sc.ServiceName(), sc.Description)
+		}
+		fmt.Println("\nrun one with: dynamobench scenario <name>   (or a path to a scenario JSON)")
+		return 0
+	}
+	scs := make([]*scenario.Scenario, 0, len(args))
+	for _, arg := range args {
+		sc, ok := scenario.ByName(arg)
+		if !ok {
+			if !strings.ContainsAny(arg, "./") {
+				fmt.Fprintf(os.Stderr, "dynamobench: unknown scenario %q (want one of %v, or a JSON file path)\n",
+					arg, scenario.Names())
+				return 2
+			}
+			var err error
+			sc, err = scenario.LoadFile(arg)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "dynamobench: %v\n", err)
+				return 1
+			}
+		}
+		scs = append(scs, sc)
+	}
+	start := time.Now()
+	results, err := cfg.ScenarioRuns(scs, core.SystemNames)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "dynamobench: %v\n", err)
+		return 1
+	}
+	for _, r := range results {
+		fmt.Println(expt.RenderScenario(r))
+	}
+	fmt.Fprintf(os.Stderr, "[%d scenario(s) took %v]\n", len(results), time.Since(start).Round(time.Millisecond))
+	return 0
 }
 
 func run(cfg expt.Config, name string, hour func() []expt.SystemRun) (string, error) {
@@ -163,6 +223,12 @@ func run(cfg expt.Config, name string, hour func() []expt.SystemRun) (string, er
 		return expt.RenderCost(cfg.CostAnalysis()), nil
 	case "headline":
 		return expt.RenderHeadline(cfg.HeadlineNumbers()), nil
+	case "scenarios":
+		rs, err := cfg.ScenarioSweep()
+		if err != nil {
+			return "", err
+		}
+		return expt.RenderScenarioSweep(rs), nil
 	}
 	return "", fmt.Errorf("unknown experiment %q (want one of %v)", name, names())
 }

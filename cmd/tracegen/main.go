@@ -5,6 +5,16 @@
 //
 //	tracegen -service conversation -days 7 -peak 45 -o week.csv
 //	tracegen -stats week.csv
+//
+// Traces serialize as CSV with a header row and one request per line:
+//
+//	timestamp_s,input_tokens,output_tokens
+//	32400.125,512,187
+//
+// timestamp_s is seconds from trace start (t = 0 is Monday 00:00 of the
+// synthetic week), input_tokens/output_tokens are the request's true
+// lengths. The same schema is accepted anywhere a trace is read back
+// (tracegen -stats, scenario JSON workflows, the library's ReadCSV).
 package main
 
 import (
@@ -24,6 +34,22 @@ func main() {
 	seed := flag.Uint64("seed", 42, "random seed")
 	out := flag.String("o", "-", "output CSV path ('-' = stdout)")
 	stats := flag.String("stats", "", "print statistics of an existing trace CSV and exit")
+	flag.Usage = func() {
+		fmt.Fprint(os.Stderr, `usage: tracegen [flags]
+
+Generates a synthetic LLM-inference trace (or, with -stats, summarizes an
+existing one). Output CSV schema, header row included:
+
+  timestamp_s,input_tokens,output_tokens
+  32400.125,512,187
+
+timestamp_s counts seconds from trace start (t=0 is Monday 00:00 of the
+synthetic week); the token columns are the request's true lengths.
+
+flags:
+`)
+		flag.PrintDefaults()
+	}
 	flag.Parse()
 
 	if *stats != "" {
@@ -41,7 +67,14 @@ func main() {
 	case "coding":
 		svc = trace.Coding
 	default:
-		fmt.Fprintf(os.Stderr, "tracegen: unknown service %q\n", *service)
+		fmt.Fprintf(os.Stderr, "tracegen: unknown service %q (want conversation|coding)\n\n", *service)
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	if *days <= 0 || *peak <= 0 {
+		fmt.Fprintf(os.Stderr, "tracegen: -days and -peak must be positive\n\n")
+		flag.Usage()
 		os.Exit(2)
 	}
 

@@ -26,6 +26,7 @@ import (
 	"dynamollm/internal/expt"
 	"dynamollm/internal/model"
 	"dynamollm/internal/profile"
+	"dynamollm/internal/scenario"
 	"dynamollm/internal/simclock"
 	"dynamollm/internal/trace"
 	"dynamollm/internal/workload"
@@ -94,8 +95,13 @@ type Result struct {
 	CarbonKg float64
 	// CostUSD is the GPU-hour + electricity bill (§V-F pricing).
 	CostUSD float64
+	// EnergyBillUSD is the electricity bill alone, integrated at the
+	// time-varying price (scenario price surges show up here).
+	EnergyBillUSD float64
 	// Requests and Squashed count the workload.
 	Requests, Squashed int
+	// Outages counts instances lost to scenario-injected failures.
+	Outages int
 	// Raw exposes the full internal result for advanced consumers.
 	Raw *core.Result
 }
@@ -113,18 +119,27 @@ func NewRepo() *Repo { return profile.NewRepository(nil) }
 
 // SimulateWithRepo is Simulate reusing a profile repository.
 func SimulateWithRepo(tr Trace, cfg Config, repo *Repo) (*Result, error) {
+	opts, err := cfg.coreOptions()
+	if err != nil {
+		return nil, err
+	}
+	return wrapResult(core.RunWithRepo(tr, opts, repo)), nil
+}
+
+// coreOptions resolves the public Config into internal run options.
+func (cfg Config) coreOptions() (core.Options, error) {
 	name := cfg.System
 	if name == "" {
 		name = "dynamollm"
 	}
 	opts, ok := core.SystemByName(name)
 	if !ok {
-		return nil, fmt.Errorf("dynamollm: unknown system %q (want one of %v)", name, Systems)
+		return core.Options{}, fmt.Errorf("dynamollm: unknown system %q (want one of %v)", name, Systems)
 	}
 	if cfg.Model != "" {
 		m, err := model.Lookup(cfg.Model)
 		if err != nil {
-			return nil, err
+			return core.Options{}, err
 		}
 		opts.Model = m
 	}
@@ -137,9 +152,11 @@ func SimulateWithRepo(tr Trace, cfg Config, repo *Repo) (*Result, error) {
 		opts.NumPools = cfg.NumPools
 	}
 	opts.Seed = cfg.Seed
+	return opts, nil
+}
 
-	res := core.RunWithRepo(tr, opts, repo)
-
+// wrapResult converts an internal result into the public summary.
+func wrapResult(res *core.Result) *Result {
 	carbon := energy.NewCarbonMeter(energy.CAISO)
 	for _, p := range res.EnergySeries.Points() {
 		carbon.AddEnergy(simclock.Time(p.Time), p.Value)
@@ -156,10 +173,46 @@ func SimulateWithRepo(tr Trace, cfg Config, repo *Repo) (*Result, error) {
 		TBTP99:        res.TBT.Percentile(99),
 		CarbonKg:      carbon.Kg(),
 		CostUSD:       bill.Total(),
+		EnergyBillUSD: res.EnergyCostUSD,
 		Requests:      res.Requests,
 		Squashed:      res.Squashed,
+		Outages:       res.Outages,
 		Raw:           res,
-	}, nil
+	}
+}
+
+// Scenarios lists the built-in scenario names (see SimulateScenario).
+func Scenarios() []string { return scenario.Names() }
+
+// SimulateScenario runs cfg's system under a named built-in scenario —
+// an event-injected cluster condition such as a flash crowd, cascading
+// GPU failures, or an electricity-price surge — at the given weekly-peak
+// request rate. The scenario's trace-level events perturb the generated
+// trace; its runtime events fire inside the simulation through the tick
+// hook. Same name + cfg.Seed is fully deterministic.
+func SimulateScenario(name string, peakRPS float64, cfg Config) (*Result, error) {
+	sc, ok := scenario.ByName(name)
+	if !ok {
+		return nil, fmt.Errorf("dynamollm: unknown scenario %q (want one of %v)", name, Scenarios())
+	}
+	tr, err := sc.GenTrace(peakRPS, 0, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	opts, err := cfg.coreOptions()
+	if err != nil {
+		return nil, err
+	}
+	svc, err := sc.ServiceProfile()
+	if err != nil {
+		return nil, err
+	}
+	start := sc.Start()
+	opts.WarmLoad = func(t simclock.Time, c workload.Class) float64 {
+		return trace.ExpectedRate(svc, peakRPS, t+start, c)
+	}
+	opts.Hook = sc.Hook()
+	return wrapResult(core.RunWithRepo(tr, opts, nil)), nil
 }
 
 // Experiments returns the evaluation harness with default settings. Set

@@ -65,3 +65,28 @@ func TestExperimentsParallelKnob(t *testing.T) {
 		t.Errorf("Parallelism = %d, want 3", c.Parallelism)
 	}
 }
+
+func TestSimulateScenario(t *testing.T) {
+	if testing.Short() {
+		t.Skip("cluster simulation")
+	}
+	res, err := SimulateScenario("gpu-failures", 15, Config{System: "singlepool", Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Requests == 0 || res.EnergyKWh <= 0 {
+		t.Errorf("empty scenario result: %+v", res)
+	}
+	if res.Outages == 0 {
+		t.Error("gpu-failures scenario recorded no outages")
+	}
+	if res.EnergyBillUSD <= 0 {
+		t.Error("no electricity bill accrued")
+	}
+	if _, err := SimulateScenario("alien-invasion", 15, Config{}); err == nil {
+		t.Error("unknown scenario accepted")
+	}
+	if len(Scenarios()) < 6 {
+		t.Errorf("scenario library too small: %v", Scenarios())
+	}
+}

@@ -1,0 +1,33 @@
+// Flashcrowd: run two built-in scenarios from the scenario engine — a
+// 3.5x flash crowd the load predictor never saw, and a cascading
+// GPU-failure afternoon — and compare how the static SinglePool baseline
+// and DynamoLLM ride them out.
+//
+//	go run ./examples/flashcrowd
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"dynamollm"
+)
+
+func main() {
+	for _, name := range []string{"flashcrowd", "gpu-failures"} {
+		fmt.Printf("scenario %s:\n", name)
+		for _, system := range []string{"singlepool", "dynamollm"} {
+			res, err := dynamollm.SimulateScenario(name, 25, dynamollm.Config{
+				System: system,
+				Seed:   7,
+			})
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("  %-11s %6d requests  %7.2f kWh  bill $%5.2f  TTFT p99 %7.0f ms  SLO %5.1f%%  squashed %d  outages %d\n",
+				system, res.Requests, res.EnergyKWh, res.EnergyBillUSD,
+				res.TTFTP99*1000, res.SLOAttainment*100, res.Squashed, res.Outages)
+		}
+	}
+	fmt.Printf("\nbuilt-in scenarios: %v\n", dynamollm.Scenarios())
+}

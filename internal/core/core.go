@@ -13,11 +13,17 @@
 // Baseline systems (SinglePool, MultiPool, ScaleInst, ScaleShard,
 // ScaleFreq) are expressed as Options that disable subsets of the knobs,
 // exactly mirroring §V-A.
+//
+// Options.Hook accepts a TickHook (see hooks.go) through which the
+// scenario engine injects mid-run conditions — server outages and
+// recoveries, electricity-price signals, SLO windows — without touching
+// the tick loop's zero-allocation steady state.
 package core
 
 import (
 	"math"
 
+	"dynamollm/internal/energy"
 	"dynamollm/internal/gpu"
 	"dynamollm/internal/model"
 	"dynamollm/internal/perfmodel"
@@ -68,9 +74,21 @@ type Options struct {
 	// Seed drives all stochastic elements.
 	Seed uint64
 
-	// WarmPredictor pre-trains the load predictor on the ideal load
+	// WarmLoad pre-trains the load predictor on the ideal load
 	// curve, as the paper trains on historical weeks.
 	WarmLoad func(t simclock.Time, c workload.Class) float64
+
+	// Hook, when non-nil, fires at the start of every tick and may
+	// perturb the run through the Controls facade (outages, price
+	// signals, SLO windows). The scenario engine installs a Timeline
+	// here; hooks are per-run state and must never be shared across
+	// concurrent simulations.
+	Hook TickHook
+
+	// EnergyPriceUSDPerKWh is the nominal electricity price integrated
+	// into Result.EnergyCostUSD (scaled by any hook-injected price
+	// multiplier). Zero takes the §V-F default (ERCOT-like $0.03/kWh).
+	EnergyPriceUSDPerKWh float64
 }
 
 // withDefaults fills the paper's defaults.
@@ -101,6 +119,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.Tick <= 0 {
 		o.Tick = o.InstanceEpoch
+	}
+	if o.EnergyPriceUSDPerKWh <= 0 {
+		o.EnergyPriceUSDPerKWh = energy.DefaultCost.EnergyUSDPerKWh
 	}
 	return o
 }
@@ -189,6 +210,13 @@ type sharedState struct {
 	// curTick is the 1-based tick currently being simulated (0 outside a
 	// run); per-instance tick-scoped memos key on it.
 	curTick int
+	// priceMult is the hook-injected electricity-price multiplier
+	// (1 = nominal); it scales EnergyCostUSD accounting and steers the
+	// price-aware controller paths.
+	priceMult float64
+	// sloMult is the hook-injected SLO scaling applied to requests at
+	// arrival (values below 1 tighten, above 1 relax; 1 = nominal).
+	sloMult float64
 }
 
 // nextInstanceID hands out unique instance IDs.

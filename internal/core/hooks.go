@@ -1,0 +1,225 @@
+package core
+
+import (
+	"dynamollm/internal/model"
+	"dynamollm/internal/simclock"
+)
+
+// TickHook observes and perturbs a running simulation at tick granularity.
+// The hook fires at the start of every tick, after lifecycle timers settle
+// and before the epoch managers and the router run, so an injected outage
+// or price change is visible to every controller decision made that tick.
+//
+// Implementations on the steady path must not allocate: the tick loop's
+// zero-allocation invariant (TestTickLoopAllocationFree) is asserted with
+// a hook installed. Timeline, the standard implementation, costs one slice
+// bounds check per tick between events.
+type TickHook interface {
+	OnTick(now simclock.Time, ctl *Controls)
+}
+
+// Controls is the narrow mutation surface a TickHook may use to perturb
+// the cluster mid-run: fail and recover capacity, move the electricity
+// price, and tighten or relax the SLO window. It deliberately exposes no
+// direct access to pools or instances so hooks cannot break the tick
+// loop's scratch-state invariants.
+type Controls struct {
+	c   *Cluster
+	s   *sharedState
+	res *Result
+	now simclock.Time
+
+	// failedGPUs tracks injected capacity loss per pool so RecoverServers
+	// can restore it where it was taken, mirroring a repaired machine
+	// rejoining its old placement group.
+	failedGPUs []int
+}
+
+// newControls builds the per-run Controls facade (one allocation at
+// simulation setup; reused every tick).
+func newControls(c *Cluster, res *Result) *Controls {
+	return &Controls{c: c, s: c.shared, res: res, failedGPUs: make([]int, len(c.pools))}
+}
+
+// Now returns the virtual time of the tick being processed.
+func (ct *Controls) Now() simclock.Time { return ct.now }
+
+// ActiveServers reports the cluster's live capacity in 8-GPU server
+// equivalents (provisioning instances count: their GPUs are occupied).
+func (ct *Controls) ActiveServers() int {
+	gpus := 0
+	for _, p := range ct.c.pools {
+		gpus += p.gpusInUse()
+	}
+	return gpus / 8
+}
+
+// FailServers abruptly removes up to n servers' worth (8 GPUs each) of
+// instances from the cluster — the injected GPU/node outage. Victims are
+// taken instance by instance from the pool with the most GPUs in use, so
+// a multi-server outage spreads the way a rack failure would; whole
+// instances die, so a sharded fleet may lose slightly more than n*8 GPUs
+// (you cannot fail half a machine). Each killed instance's backlog is
+// lost and accounted as squashed requests; the instance is parked
+// stateOff and reaped by compactPools on the same tick. Returns the
+// number of servers failed, rounded up from the GPUs actually lost (the
+// cluster may hold fewer than asked).
+//
+// Static systems stay degraded until a recovery event; autoscaling systems
+// re-provision at the next cluster epoch (or sooner through the emergency
+// path), which is exactly the asymmetry outage scenarios measure.
+func (ct *Controls) FailServers(n int) int {
+	want := n * 8
+	killed := 0
+	for killed < want {
+		p := ct.busiestPool()
+		if p == nil {
+			break
+		}
+		in := newestLive(p)
+		if in == nil {
+			break
+		}
+		killed += in.TP.GPUs()
+		ct.failedGPUs[p.Index] += in.TP.GPUs()
+		ct.killInstance(in)
+	}
+	return (killed + 7) / 8
+}
+
+// RecoverServers restores up to n previously failed servers: fresh TP8
+// instances are provisioned (paying the usual Table V boot latency) in
+// the pools the outage hit, draining the per-pool failed-GPU ledger
+// largest-debt first. Fractional per-pool remainders (a sharded victim
+// straddling the 8-GPU server size) still count toward recovery — every
+// failed GPU is eventually restored, never stranded below a whole-server
+// threshold. Returns the number of servers brought back.
+func (ct *Controls) RecoverServers(n int) int {
+	recovered := 0
+	for ; n > 0; n-- {
+		pool := -1
+		for i, g := range ct.failedGPUs {
+			if g > 0 && (pool < 0 || g > ct.failedGPUs[pool]) {
+				pool = i
+			}
+		}
+		if pool < 0 {
+			break
+		}
+		if ct.failedGPUs[pool] -= 8; ct.failedGPUs[pool] < 0 {
+			ct.failedGPUs[pool] = 0
+		}
+		ct.c.addInstance(ct.c.pools[pool], model.TP8, ct.now, false)
+		ct.res.Recoveries++
+		recovered++
+	}
+	return recovered
+}
+
+// SetPriceMult sets the electricity-price multiplier applied on top of
+// Options.EnergyPriceUSDPerKWh from this tick on (1 = nominal). The
+// multiplier feeds Result.EnergyCostUSD and the price-aware controllers:
+// expensive energy tightens the DVFS headroom and the re-sharding
+// hysteresis, and routes the pool manager through the cost-objective
+// solver.
+func (ct *Controls) SetPriceMult(x float64) {
+	if x <= 0 {
+		x = 1
+	}
+	ct.s.priceMult = x
+}
+
+// PriceMult returns the active electricity-price multiplier.
+func (ct *Controls) PriceMult() float64 { return ct.s.priceMult }
+
+// SetSLOFactor scales the SLOs of requests arriving from this tick on:
+// factors below 1 tighten (an SLO-crunch window), above 1 relax. The
+// controllers keep planning against the nominal SLO — a sudden contractual
+// tightening stresses the system precisely because capacity was not
+// provisioned for it.
+func (ct *Controls) SetSLOFactor(x float64) {
+	if x <= 0 {
+		x = 1
+	}
+	ct.s.sloMult = x
+}
+
+// SLOFactor returns the active SLO scaling factor.
+func (ct *Controls) SLOFactor() float64 { return ct.s.sloMult }
+
+// busiestPool returns the live pool with the most GPUs in use.
+func (ct *Controls) busiestPool() *Pool {
+	var best *Pool
+	bestGPUs := 0
+	for _, p := range ct.c.pools {
+		if g := p.gpusInUse(); g > bestGPUs {
+			best, bestGPUs = p, g
+		}
+	}
+	return best
+}
+
+// newestLive returns the most recently created non-off instance — outages
+// take whole machines, and taking the newest keeps the victim choice
+// deterministic and independent of per-tick iteration state.
+func newestLive(p *Pool) *Instance {
+	var best *Instance
+	for _, in := range p.Instances {
+		if in.state == stateOff {
+			continue
+		}
+		if best == nil || in.ID > best.ID {
+			best = in
+		}
+	}
+	return best
+}
+
+// killInstance models the abrupt loss of one instance: queued work is
+// dropped (squashed), and the instance is parked for compaction.
+func (ct *Controls) killInstance(in *Instance) {
+	if in.backlog > 0 {
+		ct.res.Squashed += int(in.backlog)
+		in.backlog = 0
+	}
+	in.state = stateOff
+	ct.res.Outages++
+}
+
+// TimelineEvent is one scheduled perturbation: Do fires through the
+// Controls facade the first tick whose time reaches At.
+type TimelineEvent struct {
+	At simclock.Time
+	Do func(ctl *Controls)
+}
+
+// Timeline is the standard TickHook: a time-sorted list of events applied
+// as the simulation reaches them. Between events the per-tick cost is one
+// index comparison and no allocations, preserving the steady-state
+// zero-alloc invariant. A Timeline is single-run state — give every
+// simulation its own instance.
+type Timeline struct {
+	events []TimelineEvent
+	idx    int
+}
+
+// NewTimeline builds a hook from events; the slice is sorted by At
+// (stable, so equal-time events apply in insertion order).
+func NewTimeline(events []TimelineEvent) *Timeline {
+	sorted := make([]TimelineEvent, len(events))
+	copy(sorted, events)
+	for i := 1; i < len(sorted); i++ { // insertion sort: stable, tiny n
+		for j := i; j > 0 && sorted[j].At < sorted[j-1].At; j-- {
+			sorted[j], sorted[j-1] = sorted[j-1], sorted[j]
+		}
+	}
+	return &Timeline{events: sorted}
+}
+
+// OnTick applies every event due at or before now.
+func (tl *Timeline) OnTick(now simclock.Time, ctl *Controls) {
+	for tl.idx < len(tl.events) && tl.events[tl.idx].At <= now {
+		tl.events[tl.idx].Do(ctl)
+		tl.idx++
+	}
+}

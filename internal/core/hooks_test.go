@@ -1,0 +1,153 @@
+package core
+
+import (
+	"testing"
+
+	"dynamollm/internal/model"
+	"dynamollm/internal/simclock"
+)
+
+// TestTimelineOrderingAndFiring: events fire in time order regardless of
+// construction order, exactly once, and equal-time events keep insertion
+// order.
+func TestTimelineOrderingAndFiring(t *testing.T) {
+	var fired []int
+	mk := func(id int) func(*Controls) {
+		return func(*Controls) { fired = append(fired, id) }
+	}
+	tl := NewTimeline([]TimelineEvent{
+		{At: 30, Do: mk(3)},
+		{At: 10, Do: mk(1)},
+		{At: 30, Do: mk(4)}, // same time as id 3, added after
+		{At: 20, Do: mk(2)},
+	})
+	for now := simclock.Time(0); now <= 50; now += 5 {
+		tl.OnTick(now, nil)
+	}
+	want := []int{1, 2, 3, 4}
+	if len(fired) != len(want) {
+		t.Fatalf("fired %v, want %v", fired, want)
+	}
+	for i := range want {
+		if fired[i] != want[i] {
+			t.Fatalf("fired %v, want %v", fired, want)
+		}
+	}
+	// Already past: nothing fires twice.
+	tl.OnTick(100, nil)
+	if len(fired) != 4 {
+		t.Errorf("events re-fired: %v", fired)
+	}
+}
+
+// TestControlsFailAndRecover drives outages through a real cluster and
+// checks capacity bookkeeping: failed servers leave the fleet, recovery
+// restores them (through provisioning), and counters land in the Result.
+func TestControlsFailAndRecover(t *testing.T) {
+	r, _ := fixtures(t)
+	opts := SinglePool().withDefaults()
+	opts.Seed = 1
+	c := NewCluster(opts, r)
+	c.staticProvision(nil)
+	res := &Result{}
+	ctl := newControls(c, res)
+
+	before := ctl.ActiveServers()
+	if before != opts.Servers {
+		t.Fatalf("static provision gave %d servers, want %d", before, opts.Servers)
+	}
+	if got := ctl.FailServers(3); got != 3 {
+		t.Fatalf("FailServers(3) = %d", got)
+	}
+	c.compactPools()
+	if got := ctl.ActiveServers(); got != before-3 {
+		t.Errorf("after outage: %d servers, want %d", got, before-3)
+	}
+	if res.Outages == 0 {
+		t.Error("no Outages recorded")
+	}
+
+	if got := ctl.RecoverServers(5); got != 3 {
+		t.Errorf("RecoverServers(5) restored %d, want 3 (only 3 failed)", got)
+	}
+	if res.Recoveries != 3 {
+		t.Errorf("Recoveries = %d, want 3", res.Recoveries)
+	}
+	// Recovered instances provision first, then serve.
+	if got := ctl.ActiveServers(); got != before {
+		t.Errorf("after recovery: %d servers, want %d", got, before)
+	}
+
+	// Failing more than exists caps at the fleet.
+	got := ctl.FailServers(1000)
+	if got > before {
+		t.Errorf("failed %d servers out of %d", got, before)
+	}
+	c.compactPools()
+	if live := ctl.ActiveServers(); live != 0 {
+		t.Errorf("%d servers survived a total outage", live)
+	}
+}
+
+// TestControlsPriceAndSLOClamp: non-positive inputs reset to nominal.
+func TestControlsPriceAndSLOClamp(t *testing.T) {
+	r, _ := fixtures(t)
+	c := NewCluster(SinglePool().withDefaults(), r)
+	ctl := newControls(c, &Result{})
+	ctl.SetPriceMult(4)
+	if ctl.PriceMult() != 4 {
+		t.Errorf("PriceMult = %v", ctl.PriceMult())
+	}
+	ctl.SetPriceMult(-1)
+	if ctl.PriceMult() != 1 {
+		t.Errorf("negative price mult not clamped: %v", ctl.PriceMult())
+	}
+	ctl.SetSLOFactor(0.5)
+	if ctl.SLOFactor() != 0.5 {
+		t.Errorf("SLOFactor = %v", ctl.SLOFactor())
+	}
+	ctl.SetSLOFactor(0)
+	if ctl.SLOFactor() != 1 {
+		t.Errorf("zero SLO factor not clamped: %v", ctl.SLOFactor())
+	}
+}
+
+// TestControlsShardedOutageRecoveryParity: on a fragmented multi-pool
+// fleet (TP2/TP4/TP8 mixed), a matched outage + recovery pair must
+// restore the fleet to its original GPU count — per-pool remainders
+// below the 8-GPU server size must not strand failed capacity.
+func TestControlsShardedOutageRecoveryParity(t *testing.T) {
+	r, _ := fixtures(t)
+	opts := MultiPool().withDefaults()
+	c := NewCluster(opts, r)
+	res := &Result{}
+	for i := 0; i < 3; i++ {
+		c.addInstance(c.pools[i], model.TP2, 0, true)
+	}
+	c.addInstance(c.pools[3], model.TP4, 0, true)
+	c.addInstance(c.pools[4], model.TP8, 0, true)
+	gpus := func() int {
+		n := 0
+		for _, p := range c.pools {
+			n += p.gpusInUse()
+		}
+		return n
+	}
+	before := gpus() // 3x2 + 4 + 8 = 18
+	ctl := newControls(c, res)
+
+	failed := ctl.FailServers(2) // 16 GPUs, spread across pools as 8+4+2+2
+	if failed != 2 {
+		t.Fatalf("FailServers(2) = %d", failed)
+	}
+	c.compactPools()
+	if got := gpus(); got != before-16 {
+		t.Fatalf("after outage: %d GPUs, want %d", got, before-16)
+	}
+	if got := ctl.RecoverServers(failed); got != failed {
+		t.Fatalf("RecoverServers(%d) = %d", failed, got)
+	}
+	if got := gpus(); got != before {
+		t.Errorf("matched outage+recovery left %d GPUs, want %d (stranded remainder)", got, before)
+	}
+}

@@ -3,6 +3,7 @@ package core
 import (
 	"math"
 
+	"dynamollm/internal/energy"
 	"dynamollm/internal/gpu"
 	"dynamollm/internal/model"
 	"dynamollm/internal/perfmodel"
@@ -442,7 +443,21 @@ func (p *Pool) reshardPool(s *sharedState, now simclock.Time, rate float64) int 
 	// Burst headroom: 35% relative plus an absolute floor so sparse pools
 	// (fractional req/s) survive Poisson bursts between epochs.
 	demand := math.Max(rate*1.35+0.5, minRate)
-	assignment, err := solver.SolveSharding(s.prof, rep, p.targetGPUs, demand)
+	var assignment solver.Assignment
+	var err error
+	priceAware := s.priceMult != 1
+	weights := solver.CostWeights{
+		GPUHourUSD:      energy.DefaultCost.GPUHourUSD,
+		EnergyUSDPerKWh: s.opts.EnergyPriceUSDPerKWh * s.priceMult,
+	}
+	if priceAware {
+		// Price signal active: solve the full cost objective (GPU rental
+		// + electricity at the current price) over the whole frequency
+		// ladder instead of the fixed-max-frequency simplification.
+		assignment, err = solver.SolveCost(s.prof, rep, p.targetGPUs, demand, weights, solver.Options{})
+	} else {
+		assignment, err = solver.SolveSharding(s.prof, rep, p.targetGPUs, demand)
+	}
 	if err != nil {
 		// Cannot cover: fall back to max-performance sharding.
 		assignment = solver.Assignment{Groups: []solver.Group{{
@@ -471,12 +486,30 @@ func (p *Pool) reshardPool(s *sharedState, now simclock.Time, rate float64) int 
 
 	// Overhead-aware hysteresis (§IV-B "Accounting for the overheads"):
 	// reconfigure only when the current mix either cannot cover the
-	// demand or wastes at least 10% power against the proposed mix.
-	// This kills oscillation between near-equal optima, whose transition
-	// downtime would dwarf the savings.
+	// demand or wastes at least 10% of the active objective against the
+	// proposed mix. This kills oscillation between near-equal optima,
+	// whose transition downtime would dwarf the savings. The gate
+	// compares the same objective the solver minimized: watts normally,
+	// dollars per hour while a price signal holds (a cheap-energy window
+	// may propose fewer GPUs at MORE watts — a watt gate would veto
+	// exactly the reconfigurations the price signal exists to trigger).
+	// Expensive electricity also tightens the band: smaller savings are
+	// worth chasing when joules cost more.
+	hysteresis := 1 + 0.10/math.Max(s.priceMult, 1)
 	curPower, curCap, curOK := priceCounts(s, rep, cur, demand)
-	if curOK && curCap >= demand && curPower <= assignment.PowerW*1.10 {
-		return 0
+	if curOK && curCap >= demand {
+		if priceAware {
+			curGPUs := 0
+			for _, tp := range model.TPChoices {
+				curGPUs += cur[tp] * tp.GPUs()
+			}
+			curHourly := float64(curGPUs)*weights.GPUHourUSD + curPower/1000*weights.EnergyUSDPerKWh
+			if curHourly <= weights.HourlyUSD(assignment)*hysteresis {
+				return 0
+			}
+		} else if curPower <= assignment.PowerW*hysteresis {
+			return 0
+		}
 	}
 
 	touched := 0

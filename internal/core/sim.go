@@ -55,6 +55,11 @@ type Result struct {
 	EnergyJ        float64
 	EnergyByClassJ [workload.NumClasses]float64
 
+	// EnergyCostUSD is the electricity bill integrated tick by tick at
+	// the (possibly hook-perturbed) time-varying price, so price-signal
+	// scenarios separate "energy used" from "energy paid for".
+	EnergyCostUSD float64
+
 	// Latency distributions (Fig. 7).
 	TTFT, TBT *metrics.Dist
 
@@ -83,6 +88,10 @@ type Result struct {
 	Reshards, ScaleOuts, ScaleIns, FreqChanges int
 	Emergencies                                int
 	Merges                                     int
+
+	// Injected-fault counters: instances lost to hook-driven outages and
+	// servers restored by recovery events.
+	Outages, Recoveries int
 
 	// Per-true-class SLO accounting (diagnostics and Fig. 6 breakdown).
 	ClassRequests   [workload.NumClasses]int
@@ -132,11 +141,13 @@ func NewCluster(opts Options, repo *profile.Repository) *Cluster {
 	prof := repo.Get(opts.Model, opts.SLOScale)
 	rng := simclock.NewRNG(opts.Seed)
 	s := &sharedState{
-		opts:     opts,
-		prof:     prof,
-		loadPred: predict.NewLoadPredictor(opts.ClusterEpoch),
-		lenPred:  predict.NewLengthPredictor(opts.PredictorAccuracy, rng.Uint64()),
-		rng:      rng,
+		opts:      opts,
+		prof:      prof,
+		loadPred:  predict.NewLoadPredictor(opts.ClusterEpoch),
+		lenPred:   predict.NewLengthPredictor(opts.PredictorAccuracy, rng.Uint64()),
+		rng:       rng,
+		priceMult: 1,
+		sloMult:   1,
 	}
 	if opts.WarmLoad != nil {
 		s.loadPred.Warm(opts.WarmLoad)
@@ -332,6 +343,7 @@ func newSimulation(tr trace.Trace, opts Options, repo *profile.Repository) *simu
 		res:              res,
 		tr:               tr,
 		opts:             opts,
+		ctl:              newControls(c, res),
 		nTicks:           int(res.Duration / opts.Tick),
 		lastPoolEpoch:    -1,
 		lastClusterEpoch: -1,
@@ -363,6 +375,10 @@ type simulation struct {
 	idx              int // next trace event
 	lastPoolEpoch    int
 	lastClusterEpoch int
+
+	// ctl is the reusable Controls facade handed to Options.Hook each
+	// tick (allocated once at setup).
+	ctl *Controls
 
 	// assigns is indexed by Instance.ID (IDs are dense: handed out
 	// sequentially and never reused, so the slice grows with the total
@@ -438,6 +454,13 @@ func (sm *simulation) step(tick int) {
 		}
 	}
 
+	// Injected events (scenario engine): outages, price moves, SLO
+	// windows take effect before any controller looks at the cluster.
+	if opts.Hook != nil {
+		sm.ctl.now = now
+		opts.Hook.OnTick(now, sm.ctl)
+	}
+
 	// Cluster manager epoch (§IV-B scale-out/in).
 	if ce := int(float64(now) / opts.ClusterEpoch); ce != sm.lastClusterEpoch {
 		sm.lastClusterEpoch = ce
@@ -500,7 +523,10 @@ func (sm *simulation) step(tick int) {
 			Arrival:      e.At,
 			InputTokens:  e.InputTokens,
 			OutputTokens: e.OutputTokens,
-			SLOScale:     opts.SLOScale,
+			// sloMult < 1 models an injected SLO-tightening window: the
+			// request is judged against the crunched target while the
+			// controllers keep planning for the nominal one.
+			SLOScale: opts.SLOScale * s.sloMult,
 		})
 		req := &sm.reqs[len(sm.reqs)-1]
 		req.PredictedClass = s.lenPred.PredictClass(e.InputTokens, e.OutputTokens)
@@ -620,6 +646,7 @@ func (sm *simulation) step(tick int) {
 			// Attribute energy to classes by served mix.
 			tickJ := watts * opts.Tick
 			res.EnergyJ += tickJ
+			res.EnergyCostUSD += energy.KWh(tickJ) * opts.EnergyPriceUSDPerKWh * s.priceMult
 			cls := workload.Classify(int(in.mixIn), int(in.mixOut))
 			res.EnergyByClassJ[cls] += tickJ
 			res.EnergySeries.Accumulate(float64(now), tickJ)
@@ -917,7 +944,11 @@ func (c *Cluster) instanceManager(in *Instance, now simclock.Time, res *Result) 
 		return
 	}
 	// Min-energy feasible frequency for the current load with headroom.
-	f, ok := s.prof.BestFreq(cls, in.TP, in.rate*1.15+0.01)
+	// Expensive electricity (an injected price surge) shrinks the burst
+	// headroom from 15% toward 5%, trading tail slack for joules exactly
+	// while they cost the most; at the nominal price the term is 1.15.
+	head := 1.05 + 0.10/math.Max(s.priceMult, 1)
+	f, ok := s.prof.BestFreq(cls, in.TP, in.rate*head+0.01)
 	if !ok {
 		f = gpu.MaxFreq
 	}

@@ -1,8 +1,12 @@
-// Package expt implements every experiment in the paper's evaluation: one
-// function per table and figure, each returning typed rows/series that the
-// renderers in render.go format the way the paper reports them. The
+// Package expt implements the evaluation harness: one function per table
+// and figure of the paper, plus the scenario sweep comparing systems
+// under injected cluster conditions (scenario.go). Each experiment
+// returns typed rows/series that the renderers in render.go and
+// scenario.go format the way the paper reports them; runner.go fans
+// independent simulations across a bounded worker pool with results
+// slotted by index, so output is byte-identical at any parallelism. The
 // cmd/dynamobench CLI and the repository's benchmarks are thin wrappers
-// around this package. EXPERIMENTS.md records paper-vs-measured for each.
+// around this package.
 package expt
 
 import (

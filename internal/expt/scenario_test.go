@@ -1,0 +1,87 @@
+package expt
+
+import (
+	"strings"
+	"testing"
+
+	"dynamollm/internal/scenario"
+)
+
+func scenarioSubset(t *testing.T, names ...string) []*scenario.Scenario {
+	t.Helper()
+	out := make([]*scenario.Scenario, 0, len(names))
+	for _, n := range names {
+		sc, ok := scenario.ByName(n)
+		if !ok {
+			t.Fatalf("missing built-in scenario %q", n)
+		}
+		out = append(out, sc)
+	}
+	return out
+}
+
+// TestScenarioRunsParallelMatchesSequential: same scenario + seed renders
+// byte-identical output whether the scenario x system grid runs on one
+// worker or four — the PR-1 determinism guarantee extended to event
+// hooks, which are compiled fresh per simulation.
+func TestScenarioRunsParallelMatchesSequential(t *testing.T) {
+	if testing.Short() {
+		t.Skip("cluster simulation")
+	}
+	scs := scenarioSubset(t, "flashcrowd", "gpu-failures")
+	systems := []string{"singlepool", "dynamollm"}
+
+	render := func(jobs int) string {
+		cfg := Default()
+		cfg.Quick = true
+		cfg.PeakRPS = 18
+		cfg.Parallelism = jobs
+		rs, err := cfg.ScenarioRuns(scs, systems)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return RenderScenarioSweep(rs)
+	}
+	seq := render(1)
+	par := render(4)
+	if seq == "" {
+		t.Fatal("empty sequential render")
+	}
+	if seq != par {
+		t.Errorf("scenario sweep differs across -jobs:\n--- jobs=1 ---\n%s\n--- jobs=4 ---\n%s", seq, par)
+	}
+}
+
+// TestScenarioRunsOutcomes sanity-checks the sweep plumbing: the outage
+// scenario surfaces Outages for every system, and the renderers mention
+// each system and scenario.
+func TestScenarioRunsOutcomes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("cluster simulation")
+	}
+	scs := scenarioSubset(t, "gpu-failures")
+	cfg := Default()
+	cfg.Quick = true
+	cfg.PeakRPS = 18
+	rs, err := cfg.ScenarioRuns(scs, []string{"singlepool", "scaleinst", "dynamollm"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) != 1 || len(rs[0].Systems) != 3 {
+		t.Fatalf("bad shape: %d results", len(rs))
+	}
+	for _, run := range rs[0].Systems {
+		if run.Result.Outages == 0 {
+			t.Errorf("%s: outage scenario recorded no Outages", run.Name)
+		}
+		if run.Result.Requests == 0 {
+			t.Errorf("%s: no requests simulated", run.Name)
+		}
+	}
+	out := RenderScenario(rs[0])
+	for _, want := range []string{"gpu-failures", "singlepool", "scaleinst", "dynamollm", "outage"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,101 @@
+package scenario
+
+// Library returns the built-in scenarios, freshly constructed on every
+// call so callers may mutate their copies. Each exercises a different
+// failure mode of an energy-aware reconfiguration policy: reacting to
+// load it did not predict, losing capacity it planned around, and
+// re-weighing its objective when the price of a joule moves.
+func Library() []*Scenario {
+	return []*Scenario{
+		{
+			Name:        "flashcrowd",
+			Description: "45-minute 3.5x flash crowd on a Tuesday-morning ramp the load predictor never saw",
+			Service:     "conversation",
+			StartHours:  32, // Tuesday 08:00
+			Days:        0.25,
+			Events: []Event{
+				{Kind: Spike, AtHours: 2, DurationHours: 0.75, RateMult: 3.5},
+			},
+		},
+		{
+			Name:        "blackfriday",
+			Description: "day-long 2.2x demand surge with an evening electricity-price spike on top",
+			Service:     "conversation",
+			StartHours:  96, // Friday 00:00
+			Days:        1,
+			Events: []Event{
+				{Kind: Spike, AtHours: 8, DurationHours: 10, RateMult: 2.2},
+				{Kind: Price, AtHours: 17, DurationHours: 4, PriceMult: 2.5},
+			},
+		},
+		{
+			Name:        "gpu-failures",
+			Description: "two cascading server outages (4 then 2 machines) with staggered repairs",
+			Service:     "conversation",
+			StartHours:  32, // Tuesday 08:00
+			Days:        0.25,
+			Events: []Event{
+				{Kind: Outage, AtHours: 1.5, Servers: 4},
+				{Kind: Recovery, AtHours: 3, Servers: 4},
+				{Kind: Outage, AtHours: 4, Servers: 2},
+				{Kind: Recovery, AtHours: 5, Servers: 2},
+			},
+		},
+		{
+			Name:        "price-surge",
+			Description: "duck-curve day: midday solar glut at 0.4x prices, 4x evening-ramp surge",
+			Service:     "conversation",
+			StartHours:  24, // Tuesday 00:00
+			Days:        1,
+			Events: []Event{
+				{Kind: Price, AtHours: 11, DurationHours: 3, PriceMult: 0.4},
+				{Kind: Price, AtHours: 17, DurationHours: 4, PriceMult: 4},
+			},
+		},
+		{
+			Name:        "slo-crunch",
+			Description: "contractual SLO tightening to half the latency budget for two peak hours",
+			Service:     "conversation",
+			StartHours:  32, // Tuesday 08:00
+			Days:        0.25,
+			Events: []Event{
+				{Kind: SLO, AtHours: 2, DurationHours: 2, SLOFactor: 0.5},
+			},
+		},
+		{
+			Name:        "mixed-week",
+			Description: "a week on the Coding service with everything at once: SLO crunch, flash crowd, agent-launch mix shift, rack outage, weekend price surge",
+			Service:     "coding",
+			Days:        7,
+			Events: []Event{
+				{Kind: SLO, AtHours: 33, DurationHours: 3, SLOFactor: 0.5},
+				{Kind: Spike, AtHours: 62, DurationHours: 1, RateMult: 3},
+				{Kind: MixShift, AtHours: 80, DurationHours: 6, Fraction: 0.6,
+					ClassWeights: map[string]float64{"LS": 3, "LM": 2, "LL": 1}},
+				{Kind: Outage, AtHours: 106, Servers: 3},
+				{Kind: Recovery, AtHours: 109, Servers: 3},
+				{Kind: Price, AtHours: 138, DurationHours: 4, PriceMult: 3},
+			},
+		},
+	}
+}
+
+// Names lists the built-in scenario names in library order.
+func Names() []string {
+	lib := Library()
+	out := make([]string, len(lib))
+	for i, s := range lib {
+		out[i] = s.Name
+	}
+	return out
+}
+
+// ByName returns the built-in scenario with the given name, or false.
+func ByName(name string) (*Scenario, bool) {
+	for _, s := range Library() {
+		if s.Name == name {
+			return s, true
+		}
+	}
+	return nil, false
+}

@@ -1,0 +1,396 @@
+// Package scenario is the declarative scenario engine: it wraps a base
+// synthetic trace with a timeline of injected cluster conditions — load
+// spikes and flash crowds, request-mix shifts, instance/GPU outages and
+// recoveries, electricity-price signals, and SLO-tightening windows — so
+// the energy-aware controllers can be evaluated far from the smooth
+// diurnal traces the paper uses.
+//
+// A Scenario is plain data, definable in Go or loadable from JSON
+// (Load/LoadFile). Its events split into two groups at compile time:
+// trace-level events (spike, mix-shift) become composable trace.Modifier
+// transforms applied before the simulation starts, and runtime events
+// (outage, recovery, price, slo) become a core.Timeline hook that fires
+// inside the tick loop through the core.Controls facade without
+// disturbing its zero-allocation steady state.
+//
+// Library returns the named built-in scenarios (flashcrowd, blackfriday,
+// gpu-failures, price-surge, slo-crunch, mixed-week) that the
+// `dynamobench scenario` command and the expt scenario sweep drive.
+package scenario
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"sort"
+
+	"dynamollm/internal/core"
+	"dynamollm/internal/simclock"
+	"dynamollm/internal/trace"
+	"dynamollm/internal/workload"
+)
+
+// Kind names an event type; it is the JSON discriminator.
+type Kind string
+
+// The event kinds the engine understands.
+const (
+	// Spike multiplies the arrival rate inside the event window
+	// (RateMult > 1 = flash crowd, < 1 = demand drop). Trace-level.
+	Spike Kind = "spike"
+	// MixShift re-draws a fraction of the window's requests from a
+	// biased class distribution (ClassWeights/Fraction). Trace-level.
+	MixShift Kind = "mix-shift"
+	// Outage abruptly fails Servers 8-GPU servers at the event time.
+	Outage Kind = "outage"
+	// Recovery restores Servers previously failed servers (they pay the
+	// usual provisioning latency before serving again).
+	Recovery Kind = "recovery"
+	// Price sets the electricity-price multiplier to PriceMult for the
+	// event window (1 after the window ends).
+	Price Kind = "price"
+	// SLO scales request SLOs by SLOFactor for the event window
+	// (values below 1 tighten).
+	SLO Kind = "slo"
+)
+
+// Event is one injected condition on the scenario timeline. Times are in
+// hours from the start of the scenario's trace window, the way an
+// operator writes an incident timeline. Only the fields relevant to the
+// Kind are consulted; Validate rejects events whose required fields are
+// missing or out of range.
+type Event struct {
+	// Kind selects the event type.
+	Kind Kind `json:"kind"`
+	// AtHours is when the event starts, in hours from trace start.
+	AtHours float64 `json:"at_hours"`
+	// DurationHours bounds windowed events (spike, mix-shift, price,
+	// slo); zero-duration windowed events are rejected.
+	DurationHours float64 `json:"duration_hours,omitempty"`
+	// RateMult is the spike's arrival-rate multiplier.
+	RateMult float64 `json:"rate_mult,omitempty"`
+	// ClassWeights is the mix-shift target distribution, keyed by class
+	// name ("SS".."LL"): re-drawn requests sample their class with
+	// probability proportional to these weights (omitted classes are
+	// never drawn). It is an absolute distribution, not a multiplier on
+	// the base mix.
+	ClassWeights map[string]float64 `json:"class_weights,omitempty"`
+	// Fraction is the share of in-window requests a mix-shift re-draws
+	// (default 0.5 when zero).
+	Fraction float64 `json:"fraction,omitempty"`
+	// Servers is how many 8-GPU servers an outage fails or a recovery
+	// restores.
+	Servers int `json:"servers,omitempty"`
+	// PriceMult is the electricity-price multiplier of a price event.
+	PriceMult float64 `json:"price_mult,omitempty"`
+	// SLOFactor scales the SLOs inside an slo event's window.
+	SLOFactor float64 `json:"slo_factor,omitempty"`
+}
+
+// window returns the event's [from, to) in simulation seconds.
+func (e Event) window() (from, to simclock.Time) {
+	from = simclock.Time(e.AtHours * 3600)
+	to = from + simclock.Time(e.DurationHours*3600)
+	return from, to
+}
+
+// Scenario is a named, self-contained experiment condition: a base
+// synthetic trace (service, window, duration) plus the event timeline
+// perturbing it. The zero value is not useful; construct literals, use
+// the Library, or Load JSON.
+type Scenario struct {
+	// Name identifies the scenario (CLI argument, table row label).
+	Name string `json:"name"`
+	// Description is the one-line operator summary.
+	Description string `json:"description,omitempty"`
+	// Service selects the base workload profile: "conversation"
+	// (default) or "coding".
+	Service string `json:"service,omitempty"`
+	// StartHours offsets the trace window within the synthetic week
+	// (t = 0 is Monday 00:00), so scenarios can start on a morning ramp
+	// or a weekend valley.
+	StartHours float64 `json:"start_hours,omitempty"`
+	// Days is the trace duration in days.
+	Days float64 `json:"days"`
+	// PeakRPS overrides the weekly-peak request rate (0 = harness
+	// default).
+	PeakRPS float64 `json:"peak_rps,omitempty"`
+	// Events is the injected timeline; an empty list makes the scenario
+	// a plain pass-through of the base trace.
+	Events []Event `json:"events,omitempty"`
+}
+
+// ServiceProfile resolves the Service field to a trace.Service.
+func (s *Scenario) ServiceProfile() (trace.Service, error) {
+	switch s.Service {
+	case "", "conversation":
+		return trace.Conversation, nil
+	case "coding":
+		return trace.Coding, nil
+	}
+	return 0, fmt.Errorf("scenario %q: unknown service %q (want conversation|coding)", s.Name, s.Service)
+}
+
+// ServiceName returns the display name of the scenario's service,
+// resolving the empty default — the single place the "empty means
+// conversation" rule is rendered.
+func (s *Scenario) ServiceName() string {
+	if s.Service == "" {
+		return trace.Conversation.String()
+	}
+	return s.Service
+}
+
+// Start returns the trace window's offset within the synthetic week —
+// the load-predictor warm function needs it to line historical rates up
+// with simulation time.
+func (s *Scenario) Start() simclock.Time {
+	return simclock.Time(s.StartHours * 3600)
+}
+
+// Validate checks the scenario is well-formed: known service and event
+// kinds, positive duration, events inside the trace window with the
+// fields their kind requires.
+func (s *Scenario) Validate() error {
+	if s.Name == "" {
+		return fmt.Errorf("scenario: missing name")
+	}
+	if _, err := s.ServiceProfile(); err != nil {
+		return err
+	}
+	if s.Days <= 0 {
+		return fmt.Errorf("scenario %q: non-positive days %v", s.Name, s.Days)
+	}
+	horizon := s.Days * 24
+	for i, e := range s.Events {
+		at := fmt.Sprintf("scenario %q: event %d (%s)", s.Name, i, e.Kind)
+		if e.AtHours < 0 || e.AtHours > horizon {
+			return fmt.Errorf("%s: at_hours %v outside the %v-hour trace", at, e.AtHours, horizon)
+		}
+		switch e.Kind {
+		case Spike:
+			if e.RateMult <= 0 {
+				return fmt.Errorf("%s: rate_mult must be positive", at)
+			}
+			if e.DurationHours <= 0 {
+				return fmt.Errorf("%s: duration_hours must be positive", at)
+			}
+		case MixShift:
+			if e.DurationHours <= 0 {
+				return fmt.Errorf("%s: duration_hours must be positive", at)
+			}
+			if len(e.ClassWeights) == 0 {
+				return fmt.Errorf("%s: class_weights must name at least one class", at)
+			}
+			for name := range e.ClassWeights {
+				if _, err := workload.ParseClass(name); err != nil {
+					return fmt.Errorf("%s: %v", at, err)
+				}
+			}
+		case Outage, Recovery:
+			if e.Servers <= 0 {
+				return fmt.Errorf("%s: servers must be positive", at)
+			}
+		case Price:
+			if e.PriceMult <= 0 {
+				return fmt.Errorf("%s: price_mult must be positive", at)
+			}
+			if e.DurationHours <= 0 {
+				return fmt.Errorf("%s: duration_hours must be positive", at)
+			}
+		case SLO:
+			if e.SLOFactor <= 0 {
+				return fmt.Errorf("%s: slo_factor must be positive", at)
+			}
+			if e.DurationHours <= 0 {
+				return fmt.Errorf("%s: duration_hours must be positive", at)
+			}
+		default:
+			return fmt.Errorf("%s: unknown kind", at)
+		}
+	}
+	return nil
+}
+
+// GenTrace generates the scenario's perturbed trace: the base service
+// trace over [StartHours, StartHours+Days), time-shifted to t = 0, with
+// every trace-level event applied. peakRPS <= 0 keeps the scenario's own
+// PeakRPS (which must then be set); maxDays > 0 caps the duration (quick
+// harness runs). The result is deterministic in (scenario, peakRPS,
+// maxDays, seed).
+func (s *Scenario) GenTrace(peakRPS, maxDays float64, seed uint64) (trace.Trace, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	svc, err := s.ServiceProfile()
+	if err != nil {
+		return nil, err
+	}
+	if peakRPS <= 0 {
+		peakRPS = s.PeakRPS
+	}
+	if peakRPS <= 0 {
+		return nil, fmt.Errorf("scenario %q: no peak rate (set PeakRPS or pass one)", s.Name)
+	}
+	days := s.Days
+	if maxDays > 0 && days > maxDays {
+		days = maxDays
+	}
+	start := s.Start()
+	end := start + simclock.Time(days*simclock.Day)
+	tr := trace.Generate(trace.GenConfig{
+		Service:  svc,
+		Start:    start,
+		Duration: days * simclock.Day,
+		PeakRPS:  peakRPS,
+		Seed:     seed,
+	}).Window(start, end)
+	return s.ApplyTrace(tr, seed), nil
+}
+
+// ApplyTrace applies the scenario's trace-level events (spikes and mix
+// shifts) to an already-generated trace whose t = 0 is the scenario
+// start. Runtime events are untouched — install Hook for those. With no
+// trace-level events the input is returned unchanged (same backing
+// array), so an event-free scenario is an exact pass-through.
+func (s *Scenario) ApplyTrace(tr trace.Trace, seed uint64) trace.Trace {
+	mods := make([]trace.Modifier, 0, len(s.Events))
+	for i, e := range s.Events {
+		from, to := e.window()
+		evSeed := seed ^ (uint64(i+1) * 0x9e3779b97f4a7c15)
+		switch e.Kind {
+		case Spike:
+			mods = append(mods, trace.AmplifyWindow(from, to, e.RateMult, evSeed))
+		case MixShift:
+			var w [workload.NumClasses]float64
+			for name, weight := range e.ClassWeights {
+				cls, err := workload.ParseClass(name)
+				if err != nil {
+					continue // Validate rejects this before simulation
+				}
+				w[cls] = weight
+			}
+			frac := e.Fraction
+			if frac <= 0 {
+				frac = 0.5
+			}
+			mods = append(mods, trace.ShiftMixWindow(from, to, w, frac, evSeed))
+		}
+	}
+	if len(mods) == 0 {
+		return tr
+	}
+	return trace.Compose(mods...)(tr)
+}
+
+// Hook compiles the scenario's runtime events (outages, recoveries,
+// price signals, SLO windows) into a core.Timeline tick hook, or nil if
+// there are none. Every call returns a fresh hook: a Timeline carries
+// per-run cursor state and must never be shared between simulations.
+//
+// Price and SLO windows may overlap or abut; at any instant the value in
+// force is that of the most recently started window still open (1 when
+// none is). Windows are compiled to boundary events carrying the active
+// value, so a window ending can never clobber another that is still
+// running.
+func (s *Scenario) Hook() core.TickHook {
+	var events []core.TimelineEvent
+	var priceWins, sloWins []valueWindow
+	for _, e := range s.Events {
+		e := e
+		from, to := e.window()
+		switch e.Kind {
+		case Outage:
+			events = append(events, core.TimelineEvent{At: from,
+				Do: func(ctl *core.Controls) { ctl.FailServers(e.Servers) }})
+		case Recovery:
+			events = append(events, core.TimelineEvent{At: from,
+				Do: func(ctl *core.Controls) { ctl.RecoverServers(e.Servers) }})
+		case Price:
+			priceWins = append(priceWins, valueWindow{from: from, to: to, val: e.PriceMult})
+		case SLO:
+			sloWins = append(sloWins, valueWindow{from: from, to: to, val: e.SLOFactor})
+		}
+	}
+	events = append(events, boundaryEvents(priceWins, (*core.Controls).SetPriceMult)...)
+	events = append(events, boundaryEvents(sloWins, (*core.Controls).SetSLOFactor)...)
+	if len(events) == 0 {
+		return nil
+	}
+	return core.NewTimeline(events)
+}
+
+// valueWindow is a half-open [from, to) interval during which a price or
+// SLO multiplier holds.
+type valueWindow struct {
+	from, to simclock.Time
+	val      float64
+}
+
+// activeValue returns the multiplier in force at t: the value of the
+// most recently started window containing t (ties broken by list order,
+// later wins), or 1 when no window is open.
+func activeValue(ws []valueWindow, t simclock.Time) float64 {
+	v := 1.0
+	started := simclock.Time(math.Inf(-1))
+	for _, w := range ws {
+		if w.from <= t && t < w.to && w.from >= started {
+			started, v = w.from, w.val
+		}
+	}
+	return v
+}
+
+// boundaryEvents compiles value windows into timeline events: one event
+// per boundary where the active value changes, each setting the value
+// that holds from that instant on.
+func boundaryEvents(ws []valueWindow, set func(*core.Controls, float64)) []core.TimelineEvent {
+	if len(ws) == 0 {
+		return nil
+	}
+	bounds := make([]simclock.Time, 0, 2*len(ws))
+	for _, w := range ws {
+		bounds = append(bounds, w.from, w.to)
+	}
+	sort.Slice(bounds, func(i, j int) bool { return bounds[i] < bounds[j] })
+	var out []core.TimelineEvent
+	prev := 1.0
+	for i, t := range bounds {
+		if i > 0 && t == bounds[i-1] {
+			continue
+		}
+		v := activeValue(ws, t) // fresh per iteration; safe to capture
+		if v == prev {
+			continue
+		}
+		prev = v
+		out = append(out, core.TimelineEvent{At: t, Do: func(ctl *core.Controls) { set(ctl, v) }})
+	}
+	return out
+}
+
+// Load parses a JSON scenario and validates it.
+func Load(r io.Reader) (*Scenario, error) {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	var s Scenario
+	if err := dec.Decode(&s); err != nil {
+		return nil, fmt.Errorf("scenario: %w", err)
+	}
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	return &s, nil
+}
+
+// LoadFile is Load on a file path.
+func LoadFile(path string) (*Scenario, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Load(f)
+}

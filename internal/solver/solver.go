@@ -111,6 +111,42 @@ var ErrInfeasible = errors.New("solver: no feasible configuration")
 // water-filling refinement and picks each group's least-energy feasible
 // frequency exactly from the profile.
 func Solve(p *profile.Profile, cls workload.Class, totalGPUs int, lambda float64, opts Options) (Assignment, error) {
+	return solveScored(p, cls, totalGPUs, lambda, opts, func(a Assignment) float64 {
+		return a.PowerW
+	})
+}
+
+// CostWeights prices an assignment in dollars per hour, turning the
+// solver's power objective into a cost objective: GPU rental (the
+// dominant §V-F term) plus electricity at the current — possibly
+// scenario-perturbed — grid price. A high electricity price pushes the
+// optimum toward fewer joules even at the expense of more GPUs; a cheap
+// one toward releasing machines.
+type CostWeights struct {
+	// GPUHourUSD is the rental price of one GPU for one hour.
+	GPUHourUSD float64
+	// EnergyUSDPerKWh is the effective electricity price.
+	EnergyUSDPerKWh float64
+}
+
+// HourlyUSD prices an assignment: rental for its GPUs plus electricity
+// for its average power over one hour.
+func (w CostWeights) HourlyUSD(a Assignment) float64 {
+	return float64(a.GPUs())*w.GPUHourUSD + a.PowerW/1000*w.EnergyUSDPerKWh
+}
+
+// SolveCost is Solve with a dollar-per-hour objective instead of watts:
+// it returns the cheapest assignment under the weights that serves lambda
+// req/s within the GPU budget. Within one instance-count vector the GPU
+// rental is constant, so the power-optimal frequency split is also the
+// cost-optimal one; only the comparison across vectors changes.
+func SolveCost(p *profile.Profile, cls workload.Class, totalGPUs int, lambda float64, w CostWeights, opts Options) (Assignment, error) {
+	return solveScored(p, cls, totalGPUs, lambda, opts, w.HourlyUSD)
+}
+
+// solveScored enumerates instance-count vectors and keeps the assignment
+// minimizing score (power for Solve, dollars for SolveCost).
+func solveScored(p *profile.Profile, cls workload.Class, totalGPUs int, lambda float64, opts Options, score func(Assignment) float64) (Assignment, error) {
 	if totalGPUs <= 0 {
 		return Assignment{}, fmt.Errorf("solver: non-positive GPU budget %d", totalGPUs)
 	}
@@ -119,6 +155,7 @@ func Solve(p *profile.Profile, cls workload.Class, totalGPUs int, lambda float64
 	}
 
 	best := Assignment{PowerW: math.Inf(1)}
+	bestScore := math.Inf(1)
 	n2max := totalGPUs / 2
 	for n2 := 0; n2 <= n2max; n2++ {
 		for n4 := 0; n4*4 <= totalGPUs-n2*2; n4++ {
@@ -132,8 +169,10 @@ func Solve(p *profile.Profile, cls workload.Class, totalGPUs int, lambda float64
 					continue
 				}
 				a, ok := evaluate(p, cls, counts, lambda, opts)
-				if ok && a.PowerW < best.PowerW-1e-9 {
-					best = a
+				if ok {
+					if s := score(a); s < bestScore-1e-9 {
+						best, bestScore = a, s
+					}
 				}
 			}
 		}

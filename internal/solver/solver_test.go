@@ -258,3 +258,54 @@ func TestAssignmentAccessors(t *testing.T) {
 		t.Error("empty String")
 	}
 }
+
+func TestSolveCostObjective(t *testing.T) {
+	p := p70(t)
+	lambda := lambdaFor(workload.MM, 2000)
+
+	// With electricity free, cost reduces to GPU rental: the solver must
+	// pick the assignment with the fewest GPUs that covers the load.
+	rentalOnly := CostWeights{GPUHourUSD: 12, EnergyUSDPerKWh: 0}
+	a, err := SolveCost(p, workload.MM, 32, lambda, rentalOnly, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	minGPUs := 33
+	for budget := 2; budget <= 32; budget++ {
+		if b, err := Solve(p, workload.MM, budget, lambda, Options{}); err == nil && b.GPUs() < minGPUs {
+			minGPUs = b.GPUs()
+		}
+	}
+	if a.GPUs() != minGPUs {
+		t.Errorf("rental-only cost solve used %d GPUs, minimum feasible is %d", a.GPUs(), minGPUs)
+	}
+
+	// With rental free, the cost objective degenerates to the power
+	// objective: both solves must agree on the optimum power.
+	powerOnly := CostWeights{GPUHourUSD: 0, EnergyUSDPerKWh: 0.12}
+	ac, err := SolveCost(p, workload.MM, 32, lambda, powerOnly, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ap, err := Solve(p, workload.MM, 32, lambda, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(ac.PowerW-ap.PowerW) > 1e-6 {
+		t.Errorf("electricity-only cost solve power %v != power solve %v", ac.PowerW, ap.PowerW)
+	}
+
+	// The reported optimum is never beaten by the other objective's pick.
+	if rentalOnly.HourlyUSD(ap) < rentalOnly.HourlyUSD(a)-1e-9 {
+		t.Errorf("power optimum is cheaper than cost optimum under rental weights: %v < %v",
+			rentalOnly.HourlyUSD(ap), rentalOnly.HourlyUSD(a))
+	}
+}
+
+func TestSolveCostInfeasible(t *testing.T) {
+	p := p70(t)
+	if _, err := SolveCost(p, workload.LL, 2, lambdaFor(workload.LL, 50000),
+		CostWeights{GPUHourUSD: 12, EnergyUSDPerKWh: 0.03}, Options{}); err == nil {
+		t.Error("expected infeasible")
+	}
+}

@@ -1,0 +1,125 @@
+package trace
+
+import (
+	"math"
+	"sort"
+
+	"dynamollm/internal/simclock"
+	"dynamollm/internal/workload"
+)
+
+// A Modifier transforms a trace into a perturbed trace. Modifiers are the
+// composable building blocks of the scenario engine: a scenario compiles
+// its trace-level events (load spikes, request-mix shifts) into a modifier
+// chain and applies it to the base trace before the simulation starts, so
+// the tick loop only ever sees a plain, time-ordered Trace.
+//
+// Modifiers must be deterministic (all randomness from an explicit seed)
+// and must not mutate their input; they may return the input unchanged
+// when they have nothing to do.
+type Modifier func(Trace) Trace
+
+// Compose chains modifiers left to right into one: Compose(a, b)(tr) is
+// b(a(tr)). Composing nothing returns the identity modifier.
+func Compose(mods ...Modifier) Modifier {
+	return func(tr Trace) Trace {
+		for _, m := range mods {
+			tr = m(tr)
+		}
+		return tr
+	}
+}
+
+// AmplifyWindow returns a modifier that multiplies the arrival rate by
+// mult within [from, to). Rates above 1 model flash crowds: each request
+// in the window spawns extra arrivals of the same class (fresh lengths,
+// slightly jittered timestamps), which preserves the window's class mix
+// and diurnal shape while scaling its intensity. Rates below 1 thin the
+// window. Outside the window the trace is untouched; mult == 1 returns
+// the input unchanged.
+func AmplifyWindow(from, to simclock.Time, mult float64, seed uint64) Modifier {
+	return func(tr Trace) Trace {
+		if mult == 1 || from >= to || len(tr) == 0 {
+			return tr
+		}
+		rng := simclock.NewRNG(seed ^ 0xA3F1)
+		lenRNG := rng.Split(1)
+		out := make(Trace, 0, len(tr))
+		for _, e := range tr {
+			if e.At < from || e.At >= to {
+				out = append(out, e)
+				continue
+			}
+			if mult < 1 {
+				// Thinning preserves the Poisson structure.
+				if rng.Float64() < mult {
+					out = append(out, e)
+				}
+				continue
+			}
+			out = append(out, e)
+			// Superpose extra arrivals: floor(mult-1) certain copies plus
+			// a Bernoulli remainder, each with fresh lengths from the
+			// original's class and a small forward jitter so the window's
+			// arrival process stays locally Poisson-like.
+			extra := mult - 1
+			n := int(extra)
+			if rng.Float64() < extra-float64(n) {
+				n++
+			}
+			for k := 0; k < n; k++ {
+				at := e.At + simclock.Time(rng.Float64())
+				if at >= to {
+					at = to - simclock.Time(1e-3)
+				}
+				in, outTok := SampleLengths(lenRNG, e.Class())
+				out = append(out, Entry{At: at, InputTokens: in, OutputTokens: outTok})
+			}
+		}
+		sort.SliceStable(out, func(i, j int) bool { return out[i].At < out[j].At })
+		return out
+	}
+}
+
+// ShiftMixWindow returns a modifier that re-draws a fraction of the
+// requests inside [from, to) from a target class distribution: each
+// affected request's class is sampled with probability proportional to
+// weights (an absolute distribution over the nine classes, not a
+// multiplier on the existing mix; zero-weight classes are never drawn),
+// and its lengths are re-sampled for that class. frac in (0, 1] is the
+// fraction of in-window requests affected; the remaining 1-frac keep the
+// base mix, so the window's realized mix is a blend of the two. This
+// models the paper's Fig. 1 popularity drift happening abruptly — e.g. a
+// coding-agent launch flooding a conversation service with long-input
+// requests.
+func ShiftMixWindow(from, to simclock.Time, weights [workload.NumClasses]float64, frac float64, seed uint64) Modifier {
+	return func(tr Trace) Trace {
+		if frac <= 0 || from >= to || len(tr) == 0 {
+			return tr
+		}
+		total := 0.0
+		for _, w := range weights {
+			total += math.Max(w, 0)
+		}
+		if total <= 0 {
+			return tr
+		}
+		rng := simclock.NewRNG(seed ^ 0x315C)
+		lenRNG := rng.Split(1)
+		w := make([]float64, workload.NumClasses)
+		for i := range w {
+			w[i] = math.Max(weights[i], 0)
+		}
+		out := make(Trace, len(tr))
+		copy(out, tr)
+		for i, e := range out {
+			if e.At < from || e.At >= to || rng.Float64() >= frac {
+				continue
+			}
+			cls := workload.Class(rng.Pick(w))
+			in, outTok := SampleLengths(lenRNG, cls)
+			out[i].InputTokens, out[i].OutputTokens = in, outTok
+		}
+		return out
+	}
+}

@@ -11,7 +11,9 @@
 //   - the request-type mix drifts over time (Fig. 1).
 //
 // Traces serialize to CSV (timestamp_s,input_tokens,output_tokens) so the
-// cmd/tracegen tool can exchange them with other systems.
+// cmd/tracegen tool can exchange them with other systems, and compose with
+// the scenario engine's Modifier transforms (modifier.go) for injected
+// load spikes and request-mix shifts.
 package trace
 
 import (
@@ -51,6 +53,7 @@ const (
 	Coding
 )
 
+// String returns the service's lowercase name ("conversation", "coding").
 func (s Service) String() string {
 	if s == Coding {
 		return "coding"

@@ -1,6 +1,7 @@
-// Package workload defines LLM inference requests, the paper's nine
-// input/output length classes (SS…LL, Table IV), their TTFT/TBT SLOs, and
-// arrival processes.
+// Package workload defines LLM inference requests and the paper's nine
+// input/output length classes (SS…LL, Table IV) with their TTFT/TBT SLOs.
+// Arrival processes live in package trace; this package only describes
+// individual requests and how they are classified and judged.
 package workload
 
 import (
@@ -20,6 +21,7 @@ const (
 	Long
 )
 
+// String returns the bucket's single-letter name ("S", "M", "L").
 func (b LengthBucket) String() string {
 	switch b {
 	case Short:
@@ -87,6 +89,8 @@ const (
 
 var classNames = [NumClasses]string{"SS", "SM", "SL", "MS", "MM", "ML", "LS", "LM", "LL"}
 
+// String returns the class's two-letter name ("SS".."LL"), input bucket
+// first.
 func (c Class) String() string {
 	if c < 0 || c >= NumClasses {
 		return fmt.Sprintf("Class(%d)", int(c))
@@ -189,9 +193,12 @@ func (r *Request) Class() Class {
 
 // SLO returns the latency targets this request must meet — keyed by the
 // true class (the system is judged on real behaviour, not predictions).
+// SLOScale values above 1 relax the Table IV targets (loose-SLO services);
+// values in (0, 1) tighten them (scenario-injected SLO-crunch windows);
+// zero or one leaves them nominal.
 func (r *Request) SLO() SLO {
 	s := SLOFor(r.Class())
-	if r.SLOScale > 1 {
+	if r.SLOScale > 0 && r.SLOScale != 1 {
 		s = s.Scale(r.SLOScale)
 	}
 	return s

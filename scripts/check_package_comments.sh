@@ -1,0 +1,26 @@
+#!/bin/sh
+# Docs gate: every internal/* package (and the root facade) must carry a
+# package comment ("// Package <name> ..."), so godoc never shows a bare
+# package. Run from the repository root; CI invokes it via `make docs-check`.
+set -u
+
+fail=0
+check_dir() {
+	dir=$1
+	pkg=$2
+	if ! grep -qs "^// Package $pkg " "$dir"*.go; then
+		echo "docs-check: package $pkg ($dir) has no '// Package $pkg ...' comment" >&2
+		fail=1
+	fi
+}
+
+for dir in internal/*/; do
+	check_dir "$dir" "$(basename "$dir")"
+done
+check_dir "./" dynamollm
+
+if [ "$fail" -ne 0 ]; then
+	echo "docs-check: FAILED" >&2
+	exit 1
+fi
+echo "docs-check: every package has a package comment"
