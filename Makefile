@@ -6,15 +6,17 @@ GO ?= go
 # Sequence number for committed benchmark baselines (BENCH_<N>.json).
 N ?= dev
 
-.PHONY: all build test lint docs-check bench bench-json profile smoke scenario-smoke
+.PHONY: all build test lint docs-check bench bench-json profile smoke scenario-smoke event-smoke fidelity-smoke
 
 all: build lint docs-check test
 
 build:
 	$(GO) build ./...
 
+# Event-fidelity tests push internal/expt past the default 10-minute
+# per-package budget under the race detector; give the suite headroom.
 test:
-	$(GO) test -race ./...
+	$(GO) test -race -timeout 30m ./...
 
 lint:
 	$(GO) vet ./...
@@ -53,3 +55,16 @@ smoke:
 # CLI; CI uploads the output as an artifact.
 scenario-smoke:
 	$(GO) run ./cmd/dynamobench -quick scenarios | tee scenario-sweep.txt
+
+# End-to-end: one scenario on the event-level instance backend, race
+# detector on (the event clock and engines are per-run state — this is
+# the guard that keeps them that way). Thin peak and the shortest
+# scenario: event mode is the slow path and the assertion is completion,
+# not scale (~5 min under -race).
+event-smoke:
+	$(GO) run -race ./cmd/dynamobench -quick -peak 5 -fidelity event scenario flashcrowd
+
+# Fluid-vs-event cross-validation deltas through the real CLI; CI ships
+# the table with the scenario-sweep artifact.
+fidelity-smoke:
+	$(GO) run ./cmd/dynamobench -quick fidelity | tee fidelity-deltas.txt

@@ -12,12 +12,17 @@
 // Experiments: table1 table2 table3 table4 table5 table6
 //
 //	fig1 fig2 fig3 fig6 fig7 fig8 fig9 fig10 fig11 fig12
-//	fig13 fig14 fig15 fig16 cost headline scenarios
+//	fig13 fig14 fig15 fig16 cost headline scenarios fidelity
 //
 // (fig6..fig10 share one six-system cluster simulation; "scenarios" runs
 // the whole built-in scenario library across all six systems, and
 // "scenario <name>" runs one — a library name like flashcrowd, or a path
-// to a JSON scenario definition.)
+// to a JSON scenario definition. "fidelity" cross-validates the fluid
+// model against the event-level engine and is not part of "all".)
+//
+// -fidelity {fluid,event} selects the instance service model for every
+// cluster simulation: the closed-form fluid model (fast default) or one
+// event-level engine per instance (ground truth, slower).
 package main
 
 import (
@@ -45,6 +50,7 @@ func realMain() int {
 	seed := flag.Uint64("seed", 42, "random seed")
 	quick := flag.Bool("quick", false, "shrink long experiments (2-day weeks, thinner load)")
 	jobs := flag.Int("jobs", runtime.NumCPU(), "max concurrent simulations per experiment (output is identical for any value)")
+	fidelity := flag.String("fidelity", "fluid", "instance fidelity backend: fluid|event")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the selected experiments to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile taken after the selected experiments to this file")
 	flag.Usage = func() {
@@ -56,6 +62,13 @@ func realMain() int {
 	flag.Parse()
 	args := flag.Args()
 	if len(args) == 0 {
+		flag.Usage()
+		return 2
+	}
+
+	fid, err := core.ParseFidelity(*fidelity)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "dynamobench: unknown fidelity %q (want one of %v)\n\n", *fidelity, core.FidelityNames)
 		flag.Usage()
 		return 2
 	}
@@ -93,6 +106,7 @@ func realMain() int {
 	cfg.Seed = *seed
 	cfg.Quick = *quick
 	cfg.Parallelism = *jobs
+	cfg.Fidelity = fid
 
 	// Scenario mode: run named (or JSON-defined) scenarios through the
 	// six systems instead of regenerating paper figures.
@@ -101,7 +115,7 @@ func realMain() int {
 	}
 
 	if len(args) == 1 && args[0] == "all" {
-		args = names()
+		args = allNames()
 	}
 
 	// The cluster-hour run feeds five figures; compute it lazily once.
@@ -127,13 +141,22 @@ func realMain() int {
 	return 0
 }
 
-func names() []string {
+// allNames is the experiment set "all" expands to (the paper's evaluation
+// plus the scenario sweep).
+func allNames() []string {
 	return []string{
 		"table1", "table2", "table3", "table4", "table5", "table6",
 		"fig1", "fig2", "fig3", "fig6", "fig7", "fig8", "fig9", "fig10",
 		"fig11", "fig12", "fig13", "fig14", "fig15", "fig16",
 		"cost", "headline", "scenarios",
 	}
+}
+
+// names lists every accepted experiment: the "all" set plus the fidelity
+// cross-validation, which runs its own fluid+event grid and is therefore
+// kept out of "all".
+func names() []string {
+	return append(allNames(), "fidelity")
 }
 
 // runScenarios resolves each argument to a scenario — a built-in library
@@ -229,6 +252,8 @@ func run(cfg expt.Config, name string, hour func() []expt.SystemRun) (string, er
 			return "", err
 		}
 		return expt.RenderScenarioSweep(rs), nil
+	case "fidelity":
+		return expt.RenderFidelity(cfg.FidelityCompare()), nil
 	}
 	return "", fmt.Errorf("unknown experiment %q (want one of %v)", name, names())
 }

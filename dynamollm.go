@@ -50,9 +50,18 @@ type Config struct {
 	PredictorAccuracy float64
 	// NumPools overrides the pool count (0 = system default).
 	NumPools int
+	// Fidelity selects the instance service model: "fluid" (closed-form
+	// steady state, the fast default; "" means fluid) or "event" (one
+	// event-level continuous-batching engine per instance — request-level
+	// queueing and tails, a few orders of magnitude slower). See
+	// Fidelities.
+	Fidelity string
 	// Seed fixes all randomness.
 	Seed uint64
 }
+
+// Fidelities lists the accepted Config.Fidelity values.
+var Fidelities = core.FidelityNames
 
 // Trace re-exports the trace type for the public API.
 type Trace = trace.Trace
@@ -150,6 +159,13 @@ func (cfg Config) coreOptions() (core.Options, error) {
 	opts.PredictorAccuracy = cfg.PredictorAccuracy
 	if cfg.NumPools > 0 {
 		opts.NumPools = cfg.NumPools
+	}
+	if cfg.Fidelity != "" {
+		fid, err := core.ParseFidelity(cfg.Fidelity)
+		if err != nil {
+			return core.Options{}, fmt.Errorf("dynamollm: unknown fidelity %q (want one of %v)", cfg.Fidelity, Fidelities)
+		}
+		opts.Fidelity = fid
 	}
 	opts.Seed = cfg.Seed
 	return opts, nil

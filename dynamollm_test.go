@@ -42,6 +42,30 @@ func TestSimulateErrors(t *testing.T) {
 	if _, err := Simulate(tr, Config{Model: "gpt-5"}); err == nil {
 		t.Error("unknown model accepted")
 	}
+	if _, err := Simulate(tr, Config{Fidelity: "warp"}); err == nil {
+		t.Error("unknown fidelity accepted")
+	}
+}
+
+func TestSimulateEventFidelity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("cluster simulation")
+	}
+	tr := NewTrace(Conversation, 1, 10, 3).Window(9*3600, 9*3600+900)
+	repo := NewRepo()
+	res, err := SimulateWithRepo(tr, Config{System: "singlepool", Servers: 4, Seed: 1, Fidelity: "event"}, repo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Requests == 0 || res.EnergyKWh <= 0 {
+		t.Fatalf("empty event-fidelity result: %+v", res)
+	}
+	if res.Raw.ClassTTFT[0] == nil {
+		t.Error("event fidelity should capture per-class latencies")
+	}
+	if len(Fidelities) != 2 || Fidelities[0] != "fluid" || Fidelities[1] != "event" {
+		t.Errorf("Fidelities = %v", Fidelities)
+	}
 }
 
 func TestCatalogAccessors(t *testing.T) {

@@ -1,0 +1,374 @@
+package core
+
+import (
+	"math"
+
+	"dynamollm/internal/energy"
+	"dynamollm/internal/engine"
+	"dynamollm/internal/gpu"
+	"dynamollm/internal/perfmodel"
+	"dynamollm/internal/simclock"
+	"dynamollm/internal/workload"
+)
+
+// InstanceBackend is the instance service model behind the cluster
+// simulation. The controllers (cluster manager, pool managers, instance
+// managers) and the router are backend-agnostic: they read the same load
+// signals (rate EWMAs, capacity, backlog) whichever backend is installed,
+// and the backend decides how an instance actually serves its work — the
+// closed-form fluid model (fluidBackend, Options.Fidelity=FidelityFluid)
+// or one event-level engine per instance on a shared virtual clock
+// (eventBackend, FidelityEvent).
+//
+// Call protocol, per tick: Admit for every routed request, then RunTo once
+// at the end of routing, then Advance once per live instance. Retire fires
+// when an instance is parked stateOff (graceful scale-in/re-shard surplus
+// vs. abrupt outage), Reconfigure when applyReshard changes its TP degree,
+// and Finish once after the last tick.
+type InstanceBackend interface {
+	// Admit registers one routed request on the instance for this tick.
+	Admit(in *Instance, req *workload.Request, now simclock.Time)
+	// RunTo advances backend-internal time to the end of the current
+	// tick, after routing and before per-instance accounting.
+	RunTo(tickEnd simclock.Time)
+	// Advance closes one tick for a live instance — service dynamics,
+	// backlog signal, latency accounting — and returns the instance's
+	// average power draw over the tick in watts.
+	Advance(in *Instance, a *assign, now simclock.Time) float64
+	// Retire handles an instance leaving service (already stateOff).
+	// graceful departures may migrate in-flight work; outages drop it.
+	Retire(in *Instance, now simclock.Time, graceful bool)
+	// Reconfigure reacts to a TP/transition change applied by the
+	// re-sharding planner.
+	Reconfigure(in *Instance, now simclock.Time)
+	// Finish closes the run after the last tick (drain in-flight work).
+	Finish(end simclock.Time)
+
+	// bind attaches the backend to the running simulation's scratch
+	// state; the interface is internal to the package by construction.
+	bind(sm *simulation)
+}
+
+// newBackend builds the backend for the options.
+func newBackend(f Fidelity, c *Cluster, res *Result) InstanceBackend {
+	if f == FidelityEvent {
+		return newEventBackend(c, res)
+	}
+	return &fluidBackend{res: res}
+}
+
+// --- Fluid backend ----------------------------------------------------------------
+
+// fluidBackend is the extracted closed-form path: each instance's tick is
+// evaluated at its bucketed steady-state operating point (perfmodel.Steady)
+// and latencies are sampled analytically. It is behaviour-preserving with
+// respect to the pre-refactor tick loop: same arithmetic, same RNG draw
+// order, zero allocations per steady-state tick.
+type fluidBackend struct {
+	sm  *simulation
+	res *Result
+}
+
+func (b *fluidBackend) bind(sm *simulation) { b.sm = sm }
+
+func (b *fluidBackend) Admit(*Instance, *workload.Request, simclock.Time) {}
+
+func (b *fluidBackend) RunTo(simclock.Time) {}
+
+func (b *fluidBackend) Advance(in *Instance, a *assign, now simclock.Time) float64 {
+	sm := b.sm
+	c, s, opts := sm.c, sm.s, sm.opts
+
+	// Steady state for this tick.
+	st := c.instanceSteady(in)
+	if in.rate > 0.01 && st.Rho > 0.01 {
+		in.capEst = in.rate / st.Rho * maxCapFraction
+	} else {
+		in.capEst = 0 // fall back to profile capacity
+	}
+
+	// Backlog dynamics: demand beyond capacity queues.
+	cap := in.capacity(s)
+	if in.rate > cap {
+		in.backlog += (in.rate - cap) * opts.Tick
+	} else if in.backlog > 0 {
+		drain := (cap - in.rate) * opts.Tick
+		in.backlog = math.Max(0, in.backlog-drain)
+	}
+
+	watts := st.Power
+	if in.state == stateProvisioning {
+		watts = gpu.H100.IdlePower * float64(in.TP.GPUs())
+	}
+
+	// Latency samples for requests assigned this tick.
+	if a != nil {
+		sm.sampleLatencies(in, st, a.reqs)
+	}
+	return watts
+}
+
+func (b *fluidBackend) Retire(in *Instance, now simclock.Time, graceful bool) {
+	// An abrupt outage drops the instance's queued work; planned
+	// departures drain it through the ordinary rate dynamics.
+	if graceful {
+		return
+	}
+	if in.backlog > 0 {
+		if b.res != nil {
+			b.res.Squashed += int(in.backlog)
+		}
+		in.backlog = 0
+	}
+}
+
+func (b *fluidBackend) Reconfigure(*Instance, simclock.Time) {}
+
+func (b *fluidBackend) Finish(simclock.Time) {}
+
+// --- Event backend ----------------------------------------------------------------
+
+// eventBackend runs every instance on its own event-level engine, all
+// sharing one virtual clock per simulation (deterministic and independent
+// of experiment parallelism: no state leaves the run). Requests are
+// submitted at their true arrival instants; queueing, batching, KV
+// admission, and tail latencies emerge from the engine instead of being
+// sampled from the fluid formulas. Energy is the engine meters' integral;
+// per-class token-level TTFT/TBT land in Result.ClassTTFT/ClassTBT.
+type eventBackend struct {
+	sm    *simulation
+	c     *Cluster
+	s     *sharedState
+	res   *Result
+	clock *simclock.Clock
+
+	// engines is dense by Instance.ID (IDs are handed out sequentially
+	// and never reused).
+	engines []*instEngine
+	// scratch stages drained requests during migrations.
+	scratch []workload.Request
+}
+
+// instEngine is one instance's engine plus per-tick metering state.
+type instEngine struct {
+	eng *engine.Engine
+	// lastJ is the meter reading at the previous tick boundary.
+	lastJ float64
+	// cls is the served-mix class of the last Advance, for attributing
+	// the post-horizon drain tail in Finish.
+	cls workload.Class
+}
+
+func newEventBackend(c *Cluster, res *Result) *eventBackend {
+	return &eventBackend{c: c, s: c.shared, res: res, clock: simclock.New()}
+}
+
+func (b *eventBackend) bind(sm *simulation) { b.sm = sm }
+
+// engineFor returns the instance's engine, building it on first touch
+// (frozen until readyAt while the instance is still provisioning or mid
+// transition). The meter starts at the touch instant, so an instance
+// created mid-epoch forgoes at most one tick of idle power relative to
+// the fluid backend (~3 kJ per scale-out — noise against run totals).
+func (b *eventBackend) engineFor(in *Instance) *instEngine {
+	for in.ID >= len(b.engines) {
+		b.engines = append(b.engines, nil)
+	}
+	ie := b.engines[in.ID]
+	if ie == nil {
+		cfg := perfmodel.Config{Model: b.s.opts.Model, TP: in.TP, Freq: in.freqCtl.Current()}
+		ie = &instEngine{eng: engine.New(cfg, b.clock), cls: workload.Classify(int(avgOr(in.mixIn, 512)), int(avgOr(in.mixOut, 200)))}
+		ie.eng.SetOnComplete(b.complete)
+		ie.eng.SetSink(b)
+		if in.state != stateActive && in.readyAt > b.clock.Now() {
+			ie.eng.Freeze(in.readyAt)
+		}
+		b.engines[in.ID] = ie
+	}
+	return ie
+}
+
+func (b *eventBackend) Admit(in *Instance, req *workload.Request, now simclock.Time) {
+	// A mispredicted, re-steered request reaches the right engine only
+	// after its detection delay.
+	at := req.Arrival + simclock.Time(req.SteerPenalty)
+	if at < b.clock.Now() {
+		at = b.clock.Now()
+	}
+	r := *req // the tick's request buffer is recycled; submit a copy
+	b.submitAt(in, r, at)
+}
+
+// submitAt schedules a request onto an instance's engine, re-resolving
+// liveness at fire time: if the instance retired between scheduling and
+// arrival, the in-transit request is re-routed to the pool's
+// earliest-ready sibling (the frontend would never deliver to a dead
+// machine), and squashed only when the pool has nothing left.
+func (b *eventBackend) submitAt(in *Instance, r workload.Request, at simclock.Time) {
+	b.clock.At(at, func() {
+		target := in
+		if in.state == stateOff {
+			target = earliestReady(b.c.pools[in.Pool])
+			if target == nil || target == in {
+				b.res.Squashed++
+				return
+			}
+		}
+		b.engineFor(target).eng.SubmitCopy(r)
+	})
+}
+
+func (b *eventBackend) RunTo(tickEnd simclock.Time) {
+	b.clock.RunUntil(tickEnd)
+}
+
+func (b *eventBackend) Advance(in *Instance, a *assign, now simclock.Time) float64 {
+	ie := b.engineFor(in)
+	// Propagate the instance manager's DVFS decision, paying the
+	// frequency-set stall the controller path implies.
+	if f := in.freqCtl.Current(); f != ie.eng.Cfg.Freq {
+		stall := gpu.SlowSetOverhead
+		if b.s.opts.ReducedOverheads {
+			stall = gpu.FastSetOverhead
+		}
+		ie.eng.SetFreq(f, stall)
+	}
+	// The controllers' backlog signal is the engine's real admission
+	// queue (sequences whose prefill has not started).
+	in.backlog = float64(ie.eng.WaitingLen())
+	in.capEst = 0
+	ie.cls = workload.Classify(int(in.mixIn), int(in.mixOut))
+
+	j := ie.eng.Energy()
+	tickJ := j - ie.lastJ
+	ie.lastJ = j
+	return tickJ / b.s.opts.Tick
+}
+
+func (b *eventBackend) Retire(in *Instance, now simclock.Time, graceful bool) {
+	var ie *instEngine
+	if in.ID < len(b.engines) {
+		ie = b.engines[in.ID]
+	}
+	if ie == nil {
+		return
+	}
+	b.engines[in.ID] = nil
+	in.backlog = 0
+	if !graceful {
+		// Outage: in-flight work dies with the machine.
+		b.res.Squashed += ie.eng.Drain(nil)
+		b.settleEnergy(ie, b.clock.Now())
+		return
+	}
+	// Planned departure: drain and migrate to the sibling that will
+	// serve soonest; with no sibling left the work is lost.
+	b.scratch = b.scratch[:0]
+	ie.eng.Drain(func(r workload.Request) { b.scratch = append(b.scratch, r) })
+	b.settleEnergy(ie, b.clock.Now())
+	target := earliestReady(b.c.pools[in.Pool]) // in is stateOff: skipped
+	if target == nil || target == in {
+		b.res.Squashed += len(b.scratch)
+		return
+	}
+	te := b.engineFor(target)
+	for _, r := range b.scratch {
+		te.eng.SubmitCopy(r)
+	}
+	b.scratch = b.scratch[:0]
+}
+
+func (b *eventBackend) Reconfigure(in *Instance, now simclock.Time) {
+	var ie *instEngine
+	if in.ID < len(b.engines) {
+		ie = b.engines[in.ID]
+	}
+	if ie == nil {
+		return // engine not built yet; first touch uses the new degree
+	}
+	// Drain-and-migrate onto the new shard layout: resident sequences
+	// cannot survive the layout change, so they restart on the
+	// reconfigured engine after the transition stall.
+	b.scratch = b.scratch[:0]
+	ie.eng.Drain(func(r workload.Request) { b.scratch = append(b.scratch, r) })
+	ie.eng.Reconfigure(perfmodel.Config{Model: b.s.opts.Model, TP: in.TP, Freq: in.freqCtl.Current()})
+	stallEnd := b.clock.Now()
+	if in.readyAt > now {
+		stallEnd = in.readyAt
+		if tf := in.throughputFactor; tf > 0 && tf < 1 {
+			// Soft transition: old shards keep serving at reduced
+			// throughput; model the capacity loss as a stall for the
+			// lost fraction of the window.
+			stallEnd = now + simclock.Time(float64(in.readyAt-now)*(1-tf))
+		}
+		ie.eng.Freeze(stallEnd)
+	}
+	// Resubmit after the stall window, not before: an iteration event
+	// scheduled before this reshard would otherwise find the requeued
+	// work and serve it inside the transition.
+	for _, r := range b.scratch {
+		b.submitAt(in, r, stallEnd)
+	}
+	in.backlog = 0
+}
+
+// Finish lets in-flight work drain past the horizon (the clock runs until
+// every engine is idle), charges the drain tail's energy, and squashes
+// anything that can never complete (KV-stuck leftovers).
+func (b *eventBackend) Finish(end simclock.Time) {
+	b.clock.Run()
+	for _, ie := range b.engines {
+		if ie == nil {
+			continue
+		}
+		b.res.Squashed += ie.eng.Drain(nil)
+		// The drain tail runs past the horizon; book its energy at the
+		// horizon so the series (and carbon pricing) stays inside the
+		// simulated window.
+		b.settleEnergy(ie, end)
+	}
+}
+
+// settleEnergy folds an engine's unaccounted joules (since its last tick
+// boundary) into the run totals, booked into the energy series at `at`.
+// Carbon accounting integrates EnergySeries, so the series must never
+// miss joules the totals carry.
+func (b *eventBackend) settleEnergy(ie *instEngine, at simclock.Time) {
+	j := ie.eng.Energy()
+	tickJ := j - ie.lastJ
+	ie.lastJ = j
+	if tickJ <= 0 {
+		return
+	}
+	b.res.EnergyJ += tickJ
+	b.res.EnergyCostUSD += energy.KWh(tickJ) * b.s.opts.EnergyPriceUSDPerKWh * b.s.priceMult
+	b.res.EnergyByClassJ[ie.cls] += tickJ
+	b.res.EnergySeries.Accumulate(float64(at), tickJ)
+}
+
+// complete judges one finished request against its true class's SLO.
+func (b *eventBackend) complete(req *workload.Request) {
+	res := b.res
+	res.Completed++
+	cls := req.Class()
+	res.ClassRequests[cls]++
+	res.TTFT.Add(req.TTFT())
+	if tbt := req.AvgTBT(); tbt >= 0 {
+		res.TBT.Add(tbt)
+	}
+	if req.MeetsSLO() {
+		res.SLOMet++
+	} else {
+		res.ClassViolations[cls]++
+	}
+}
+
+// ObserveTTFT implements engine.LatencySink: token-level per-class capture.
+func (b *eventBackend) ObserveTTFT(cls workload.Class, v float64) {
+	b.res.ClassTTFT[cls].Add(v)
+}
+
+// ObserveTBT implements engine.LatencySink.
+func (b *eventBackend) ObserveTBT(cls workload.Class, v float64) {
+	b.res.ClassTBT[cls].Add(v)
+}

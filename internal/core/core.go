@@ -21,6 +21,7 @@
 package core
 
 import (
+	"fmt"
 	"math"
 
 	"dynamollm/internal/energy"
@@ -33,12 +34,55 @@ import (
 	"dynamollm/internal/workload"
 )
 
+// Fidelity selects the instance service model behind the cluster
+// simulation: the closed-form fluid model (fast, the paper's large-scale
+// simulator, §V-E) or the event-level continuous-batching engine (one
+// engine.Engine per instance on a shared virtual clock — request-level
+// queueing, batching, and tail behaviour emerge instead of being sampled
+// from formulas). Fluid is the default; event mode is the ground-truth
+// check, a few orders of magnitude slower per simulated second.
+type Fidelity int
+
+const (
+	// FidelityFluid drives every instance through perfmodel.Steady.
+	FidelityFluid Fidelity = iota
+	// FidelityEvent embeds one event-level engine per instance.
+	FidelityEvent
+)
+
+// FidelityNames lists the accepted fidelity names in definition order.
+var FidelityNames = []string{"fluid", "event"}
+
+// String returns the fidelity's CLI name.
+func (f Fidelity) String() string {
+	if f < 0 || int(f) >= len(FidelityNames) {
+		return fmt.Sprintf("Fidelity(%d)", int(f))
+	}
+	return FidelityNames[f]
+}
+
+// ParseFidelity resolves a fidelity name ("fluid", "event").
+func ParseFidelity(s string) (Fidelity, error) {
+	for i, name := range FidelityNames {
+		if s == name {
+			return Fidelity(i), nil
+		}
+	}
+	return 0, fmt.Errorf("core: unknown fidelity %q (want fluid|event)", s)
+}
+
 // Options selects the system variant and its parameters.
 type Options struct {
 	// Model is the served LLM (default Llama2-70B).
 	Model *model.Model
 	// SLOScale relaxes the Table IV SLOs (1 = strict 5x).
 	SLOScale float64
+
+	// Fidelity selects the instance service model: FidelityFluid (the
+	// closed-form default) or FidelityEvent (an event-level engine per
+	// instance). Every controller and scenario works under both; results
+	// are deterministic for a fixed seed in either mode.
+	Fidelity Fidelity
 
 	// NumPools is the number of request-type pools (9 = paper default;
 	// 1 = SinglePool; Fig. 13 sweeps 2..16).
@@ -217,6 +261,28 @@ type sharedState struct {
 	// sloMult is the hook-injected SLO scaling applied to requests at
 	// arrival (values below 1 tighten, above 1 relax; 1 = nominal).
 	sloMult float64
+	// backend is the instance-fidelity backend of the running simulation
+	// (nil outside a run or in direct controller tests — the retire and
+	// reconfigure helpers tolerate that).
+	backend InstanceBackend
+}
+
+// retire notifies the backend that an instance is leaving service. It is
+// called right after the instance is parked stateOff; graceful marks a
+// planned departure (scale-in, re-shard surplus) whose in-flight work may
+// migrate, as opposed to an abrupt outage.
+func (s *sharedState) retire(in *Instance, now simclock.Time, graceful bool) {
+	if s.backend != nil {
+		s.backend.Retire(in, now, graceful)
+	}
+}
+
+// reconfigure notifies the backend that an instance's configuration (TP
+// degree, transition window) just changed via applyReshard.
+func (s *sharedState) reconfigure(in *Instance, now simclock.Time) {
+	if s.backend != nil {
+		s.backend.Reconfigure(in, now)
+	}
 }
 
 // nextInstanceID hands out unique instance IDs.

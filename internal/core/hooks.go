@@ -36,8 +36,12 @@ type Controls struct {
 }
 
 // newControls builds the per-run Controls facade (one allocation at
-// simulation setup; reused every tick).
+// simulation setup; reused every tick). Direct controller tests construct
+// it without a simulation, so a missing backend defaults to fluid.
 func newControls(c *Cluster, res *Result) *Controls {
+	if c.shared.backend == nil {
+		c.shared.backend = &fluidBackend{res: res}
+	}
 	return &Controls{c: c, s: c.shared, res: res, failedGPUs: make([]int, len(c.pools))}
 }
 
@@ -176,13 +180,11 @@ func newestLive(p *Pool) *Instance {
 }
 
 // killInstance models the abrupt loss of one instance: queued work is
-// dropped (squashed), and the instance is parked for compaction.
+// dropped (squashed, through the fidelity backend), and the instance is
+// parked for compaction.
 func (ct *Controls) killInstance(in *Instance) {
-	if in.backlog > 0 {
-		ct.res.Squashed += int(in.backlog)
-		in.backlog = 0
-	}
 	in.state = stateOff
+	ct.s.retire(in, ct.now, false)
 	ct.res.Outages++
 }
 

@@ -599,6 +599,7 @@ func (p *Pool) reshardPool(s *sharedState, now simclock.Time, rate float64) int 
 					break
 				}
 				sib.state = stateOff
+				s.retire(sib, now, true)
 				freed += sib.TP.GPUs()
 			}
 		}
@@ -612,6 +613,7 @@ func (p *Pool) reshardPool(s *sharedState, now simclock.Time, rate float64) int 
 				break
 			}
 			in.state = stateOff
+			s.retire(in, now, true)
 			surplus[tp]--
 			touched++
 			budget--
@@ -739,6 +741,7 @@ func applyReshard(s *sharedState, now simclock.Time, in *Instance, to model.TP) 
 		in.TP = to
 		in.throughputFactor = 0
 		in.readyAt = now + simclock.Time(90)
+		s.reconfigure(in, now)
 		return
 	}
 	in.state = stateResharding
@@ -748,6 +751,7 @@ func applyReshard(s *sharedState, now simclock.Time, in *Instance, to model.TP) 
 		in.throughputFactor = 0
 	}
 	in.readyAt = now + simclock.Time(transfer+sync)
+	s.reconfigure(in, now)
 }
 
 func (p *Pool) meanMixIn() float64 {

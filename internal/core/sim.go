@@ -63,6 +63,11 @@ type Result struct {
 	// Latency distributions (Fig. 7).
 	TTFT, TBT *metrics.Dist
 
+	// ClassTTFT/ClassTBT are per-true-class latency distributions
+	// captured at token level by the event backend
+	// (Options.Fidelity == FidelityEvent); nil in fluid mode.
+	ClassTTFT, ClassTBT [workload.NumClasses]*metrics.Dist
+
 	// Power (Fig. 8): cluster power samples per tick and per-GPU samples.
 	ClusterPowerW *metrics.Dist
 	GPUPowerW     *metrics.Dist
@@ -323,6 +328,16 @@ func newSimulation(tr trace.Trace, opts Options, repo *profile.Repository) *simu
 	for _, tp := range model.TPChoices {
 		res.ShardSeries[tp] = metrics.NewSeries(simclock.Minute)
 	}
+	if opts.Fidelity == FidelityEvent {
+		for i := range res.ClassTTFT {
+			res.ClassTTFT[i] = metrics.NewDist()
+			res.ClassTBT[i] = metrics.NewDist()
+		}
+	}
+
+	// The backend must be installed before any controller (including
+	// newControls) can touch the shared state.
+	c.shared.backend = newBackend(opts.Fidelity, c, res)
 
 	c.staticProvision(tr)
 
@@ -348,6 +363,7 @@ func newSimulation(tr trace.Trace, opts Options, repo *profile.Repository) *simu
 		lastPoolEpoch:    -1,
 		lastClusterEpoch: -1,
 	}
+	c.shared.backend.bind(sm)
 	sm.reserve()
 	return sm
 }
@@ -572,6 +588,7 @@ func (sm *simulation) step(tick int) {
 		a.outTok += float64(e.OutputTokens)
 		a.reqs = append(a.reqs, int32(len(sm.reqs)-1))
 		in.tickAssigned++
+		s.backend.Admit(in, req, now)
 		pool.arrivalsThisTick++
 		if pool.observedSince == 0 {
 			pool.observedSince = now
@@ -581,6 +598,11 @@ func (sm *simulation) step(tick int) {
 		}
 		res.Requests++
 	}
+
+	// The event backend serves the tick's arrivals here (engines advance
+	// on the shared virtual clock up to the tick boundary); the fluid
+	// backend evaluates instances analytically in Advance below.
+	s.backend.RunTo(tickEnd)
 
 	// Update per-instance rates, run instance managers, integrate
 	// energy, and sample latencies.
@@ -613,28 +635,9 @@ func (sm *simulation) step(tick int) {
 			// emergency handling).
 			c.instanceManager(in, now, res)
 
-			// Steady state for this tick.
-			st := c.instanceSteady(in)
-			if in.rate > 0.01 && st.Rho > 0.01 {
-				in.capEst = in.rate / st.Rho * maxCapFraction
-			} else {
-				in.capEst = 0 // fall back to profile capacity
-			}
-
-			// Backlog dynamics: demand beyond capacity queues.
-			cap := in.capacity(s)
-			if in.rate > cap {
-				in.backlog += (in.rate - cap) * opts.Tick
-			} else if in.backlog > 0 {
-				drain := (cap - in.rate) * opts.Tick
-				in.backlog = math.Max(0, in.backlog-drain)
-			}
-
-			// Energy for the tick.
-			watts := st.Power
-			if in.state == stateProvisioning {
-				watts = gpu.H100.IdlePower * float64(in.TP.GPUs())
-			}
+			// Backend tick: service dynamics, backlog signal, latency
+			// accounting; returns the tick's average power draw.
+			watts := s.backend.Advance(in, a, now)
 			clusterPower += watts
 			res.GPUSeconds += float64(in.TP.GPUs()) * opts.Tick
 			perGPU := watts / float64(in.TP.GPUs())
@@ -650,11 +653,6 @@ func (sm *simulation) step(tick int) {
 			cls := workload.Classify(int(in.mixIn), int(in.mixOut))
 			res.EnergyByClassJ[cls] += tickJ
 			res.EnergySeries.Accumulate(float64(now), tickJ)
-
-			// Latency samples for requests assigned this tick.
-			if a != nil {
-				sm.sampleLatencies(in, st, a.reqs)
-			}
 		}
 		// Per-pool tracked series.
 		for _, cls := range c.tracked {
@@ -691,6 +689,7 @@ func (sm *simulation) step(tick int) {
 // finish closes out the run-level aggregates.
 func (sm *simulation) finish() {
 	res := sm.res
+	sm.s.backend.Finish(simclock.Time(res.Duration))
 	res.AvgServers = res.GPUSeconds / 8 / res.Duration
 	res.FreqChanges = sm.c.retiredFreqSets
 	for _, p := range sm.c.pools {
@@ -910,6 +909,12 @@ func (c *Cluster) instanceManager(in *Instance, now simclock.Time, res *Result) 
 			in.emergency = true
 		}
 		in.freqCtl.Set(gpu.MaxFreq)
+		if c.opts.Fidelity == FidelityEvent {
+			// The engine owns its queue: emergencies escalate through
+			// the pool flag and max frequency, but work is neither
+			// re-steered nor squashed behind the engine's back.
+			return
+		}
 		// Re-steer: shed half the backlog to the least-loaded sibling.
 		p := c.pools[in.Pool]
 		var target *Instance
@@ -1171,6 +1176,7 @@ func (c *Cluster) resizePool(p *Pool, nodes int, now simclock.Time, res *Result)
 		}
 		curGPUs -= victim.TP.GPUs()
 		victim.state = stateOff
+		c.shared.retire(victim, now, true)
 		res.ScaleIns++
 	}
 	_ = cur

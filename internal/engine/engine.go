@@ -7,7 +7,18 @@
 // but queueing, batching, and tail behaviour emerge from discrete events
 // rather than formulas. The profiler can use it as a Measurer to build
 // profiles the way the paper does — by running loads against a live engine
-// (§IV-A) — and the tests cross-validate the two models.
+// (§IV-A) — and the cluster simulation in core can run every instance on
+// an Engine (Options.Fidelity = FidelityEvent), with the mid-run controls
+// the controllers need: frequency changes (SetFreq), freeze windows for
+// outages and transition stalls (Freeze), drain-and-migrate on re-sharding
+// (Drain + Reconfigure), and per-class TTFT/TBT capture through a
+// LatencySink.
+//
+// The engine honours the repository's steady-state allocation discipline:
+// seqState records are pooled and the per-iteration scratch (the active
+// batch, the waiting queue, the iteration-end callback) is reused, so a
+// long soak allocates only the clock's event records and the per-arrival
+// submission closures (BenchmarkEngineSoak tracks this).
 package engine
 
 import (
@@ -26,6 +37,9 @@ import (
 // seqState tracks one request inside the engine.
 type seqState struct {
 	req *workload.Request
+	// owned is the inline request storage used by SubmitCopy, so the
+	// engine never retains a caller's pointer across ticks.
+	owned workload.Request
 	// prefillLeft is prompt tokens not yet processed.
 	prefillLeft int
 	// produced is output tokens generated so far.
@@ -34,8 +48,17 @@ type seqState struct {
 	ctx int
 	// enqueued is when the request entered the engine.
 	enqueued simclock.Time
-	// gaps collects inter-token gaps for TBT percentiles.
+	// lastToken is when the sequence's most recent token was produced;
+	// TBT gaps are measured against it.
 	lastToken simclock.Time
+}
+
+// LatencySink receives latency samples as the engine produces tokens,
+// tagged by the request's true class. The cluster's event backend installs
+// one per run to capture per-class TTFT/TBT distributions into metrics.
+type LatencySink interface {
+	ObserveTTFT(cls workload.Class, seconds float64)
+	ObserveTBT(cls workload.Class, seconds float64)
 }
 
 // Engine is one simulated inference server instance.
@@ -43,8 +66,12 @@ type Engine struct {
 	Cfg   perfmodel.Config
 	clock *simclock.Clock
 
-	waiting []*seqState // prefill not yet started (FIFO)
-	active  []*seqState // in the running batch
+	// waiting is the FIFO admission queue (prefill not yet finished);
+	// waitHead indexes its first live entry so dequeuing never reslices
+	// the backing array away.
+	waiting  []*seqState
+	waitHead int
+	active   []*seqState // in the running batch
 
 	kvTokens    float64
 	kvCapacity  float64
@@ -52,6 +79,17 @@ type Engine struct {
 	frozenUntil simclock.Time
 
 	meter *energy.Meter
+
+	// free is the seqState pool; finished or drained sequences return
+	// here instead of garbage.
+	free []*seqState
+	// iterEnd is the scheduled end of the in-flight iteration, read by
+	// onIterEnd (one iteration is in flight at a time).
+	iterEnd simclock.Time
+	// onIterStart/onIterEnd are the iteration callbacks, bound once at
+	// construction so scheduling an iteration does not allocate closures.
+	onIterStart func()
+	onIterEnd   func()
 
 	// Measurements.
 	TTFT      *metrics.Dist
@@ -62,11 +100,15 @@ type Engine struct {
 
 	// onComplete, if set, is called as requests finish.
 	onComplete func(*workload.Request)
+	// sink, if set, receives per-class latency samples (SetSink).
+	sink LatencySink
 }
 
-// New builds an engine for the configuration on the given clock.
+// New builds an engine for the configuration on the given clock. The GPUs
+// draw idle power from construction on, so a provisioned-but-idle instance
+// is metered the way the fluid model meters it.
 func New(cfg perfmodel.Config, clock *simclock.Clock) *Engine {
-	return &Engine{
+	e := &Engine{
 		Cfg:        cfg,
 		clock:      clock,
 		kvCapacity: cfg.Model.KVCapacityTokens(cfg.TP),
@@ -74,25 +116,121 @@ func New(cfg perfmodel.Config, clock *simclock.Clock) *Engine {
 		TTFT:       metrics.NewDist(),
 		TBT:        metrics.NewDist(),
 	}
+	e.onIterStart = e.iterate
+	e.onIterEnd = e.finishIteration
+	e.meter.SetPower(clock.Now(), gpu.H100.IdlePower*float64(cfg.GPUs()))
+	return e
 }
 
-// Submit enqueues a request; the engine starts iterating if idle.
-func (e *Engine) Submit(req *workload.Request) {
-	st := &seqState{
-		req:         req,
-		prefillLeft: req.InputTokens,
-		enqueued:    e.clock.Now(),
+// getState takes a seqState from the pool (or allocates one) and resets it
+// for a new request.
+func (e *Engine) getState() *seqState {
+	if n := len(e.free); n > 0 {
+		st := e.free[n-1]
+		e.free[n-1] = nil
+		e.free = e.free[:n-1]
+		return st
 	}
+	return &seqState{}
+}
+
+// putState returns a finished or drained seqState to the pool.
+func (e *Engine) putState(st *seqState) {
+	*st = seqState{}
+	e.free = append(e.free, st)
+}
+
+// Submit enqueues a request; the engine starts iterating if idle. The
+// pointer must stay valid until the request completes or is drained — use
+// SubmitCopy when the caller's storage is reused.
+func (e *Engine) Submit(req *workload.Request) {
+	st := e.getState()
+	st.req = req
+	st.prefillLeft = req.InputTokens
+	st.enqueued = e.clock.Now()
 	e.TokensIn += req.InputTokens
+	e.enqueue(st)
+}
+
+// SubmitCopy enqueues a by-value copy of the request, stored inside the
+// engine's pooled seqState. The cluster backend uses it because its
+// per-tick request buffer is recycled while requests are still in flight.
+func (e *Engine) SubmitCopy(req workload.Request) {
+	st := e.getState()
+	st.owned = req
+	st.req = &st.owned
+	st.prefillLeft = req.InputTokens
+	st.enqueued = e.clock.Now()
+	e.TokensIn += req.InputTokens
+	e.enqueue(st)
+}
+
+func (e *Engine) enqueue(st *seqState) {
 	e.waiting = append(e.waiting, st)
 	e.kick()
 }
 
-// Freeze stalls the engine until t (frequency-set overhead, re-shard sync).
+// Freeze stalls the engine until t (frequency-set overhead, re-shard sync,
+// provisioning: work is accepted but no iteration starts before t).
 func (e *Engine) Freeze(until simclock.Time) {
 	if until > e.frozenUntil {
 		e.frozenUntil = until
 	}
+}
+
+// SetFreq applies a new GPU core clock from now on: subsequent iterations
+// are costed and powered at f. stall is the frequency-set overhead in
+// seconds (gpu.SlowSetOverhead / FastSetOverhead); the engine freezes for
+// it, modelling the inference stall the paper measures (Fig. 3). Setting
+// the current frequency is free.
+func (e *Engine) SetFreq(f gpu.Freq, stall float64) {
+	if f == e.Cfg.Freq {
+		return
+	}
+	e.Cfg.Freq = f
+	if stall > 0 {
+		e.Freeze(e.clock.Now() + simclock.Time(stall))
+	}
+}
+
+// Reconfigure swaps the engine onto a new configuration (re-sharding to a
+// different TP degree): iteration costs and KV capacity follow the new
+// shape from the next iteration on. Resident sequences do not survive a
+// shard-layout change — callers Drain first and resubmit, which is exactly
+// the drain-and-migrate the cluster's re-sharding transition performs.
+func (e *Engine) Reconfigure(cfg perfmodel.Config) {
+	e.Cfg = cfg
+	e.kvCapacity = cfg.Model.KVCapacityTokens(cfg.TP)
+}
+
+// Drain removes every incomplete request from the engine, handing each to
+// fn by value (fn may be nil to drop them), and resets the queues and KV
+// state. It returns the number of requests drained. An iteration already
+// in flight finishes against an empty batch and produces nothing.
+func (e *Engine) Drain(fn func(workload.Request)) int {
+	n := 0
+	for i := e.waitHead; i < len(e.waiting); i++ {
+		st := e.waiting[i]
+		if fn != nil {
+			fn(*st.req)
+		}
+		e.waiting[i] = nil
+		e.putState(st)
+		n++
+	}
+	e.waiting = e.waiting[:0]
+	e.waitHead = 0
+	for i, st := range e.active {
+		if fn != nil {
+			fn(*st.req)
+		}
+		e.active[i] = nil
+		e.putState(st)
+		n++
+	}
+	e.active = e.active[:0]
+	e.kvTokens = 0
+	return n
 }
 
 // Energy returns joules consumed so far (closing the meter at now).
@@ -101,11 +239,15 @@ func (e *Engine) Energy() float64 {
 }
 
 // QueueLen reports requests not yet finished.
-func (e *Engine) QueueLen() int { return len(e.waiting) + len(e.active) }
+func (e *Engine) QueueLen() int { return len(e.waiting) - e.waitHead + len(e.active) }
+
+// WaitingLen reports requests whose prefill has not started — the
+// admission backlog the cluster's instance manager watches.
+func (e *Engine) WaitingLen() int { return len(e.waiting) - e.waitHead }
 
 // kick schedules the next iteration if the engine is idle and has work.
 func (e *Engine) kick() {
-	if e.running || (len(e.waiting) == 0 && len(e.active) == 0) {
+	if e.running || (e.WaitingLen() == 0 && len(e.active) == 0) {
 		return
 	}
 	e.running = true
@@ -113,12 +255,12 @@ func (e *Engine) kick() {
 	if start < e.frozenUntil {
 		start = e.frozenUntil
 	}
-	e.clock.At(start, e.iterate)
+	e.clock.At(start, e.onIterStart)
 }
 
 // iterate runs one engine iteration: admit prefill chunks within the token
 // budget and KV capacity, decode every active sequence one token, then
-// schedule the next iteration.
+// schedule the iteration end.
 func (e *Engine) iterate() {
 	now := e.clock.Now()
 
@@ -126,8 +268,8 @@ func (e *Engine) iterate() {
 	// respecting KV capacity.
 	budget := perfmodel.PrefillChunk
 	prefillTokens := 0
-	for len(e.waiting) > 0 && budget > 0 {
-		st := e.waiting[0]
+	for e.waitHead < len(e.waiting) && budget > 0 {
+		st := e.waiting[e.waitHead]
 		chunk := st.prefillLeft
 		if chunk > budget {
 			chunk = budget
@@ -144,8 +286,14 @@ func (e *Engine) iterate() {
 			// Prompt fully processed: joins the decode batch; first
 			// token appears at the end of this iteration.
 			e.active = append(e.active, st)
-			e.waiting = e.waiting[1:]
+			e.waiting[e.waitHead] = nil
+			e.waitHead++
 		}
+	}
+	if e.waitHead == len(e.waiting) {
+		// Queue empty: rewind so the backing array is reused.
+		e.waiting = e.waiting[:0]
+		e.waitHead = 0
 	}
 
 	// Batch composition.
@@ -172,37 +320,66 @@ func (e *Engine) iterate() {
 	// Power during the iteration.
 	e.meter.SetPower(now, gpu.H100.Power(e.Cfg.Freq, it.Util)*float64(e.Cfg.GPUs()))
 
-	// Token production at iteration end.
-	e.clock.At(end, func() {
-		e.meter.SetPower(end, gpu.H100.Power(e.Cfg.Freq, 0)*float64(e.Cfg.GPUs()))
-		var still []*seqState
-		for _, st := range e.active {
-			st.produced++
-			st.ctx++
-			e.kvTokens++
-			e.TokensOut++
-			if st.produced == 1 {
+	// Token production at iteration end (the callback is bound once; the
+	// end time travels through iterEnd, valid because only one iteration
+	// is ever in flight).
+	e.iterEnd = end
+	e.clock.At(end, e.onIterEnd)
+}
+
+// finishIteration produces the in-flight iteration's tokens, retires
+// completed sequences, and schedules the next iteration. The active batch
+// is compacted in place so steady-state decoding reuses its scratch.
+func (e *Engine) finishIteration() {
+	end := e.iterEnd
+	e.meter.SetPower(end, gpu.H100.Power(e.Cfg.Freq, 0)*float64(e.Cfg.GPUs()))
+	live := e.active[:0]
+	for _, st := range e.active {
+		st.produced++
+		st.ctx++
+		e.kvTokens++
+		e.TokensOut++
+		if st.produced == 1 {
+			// A drained-and-resubmitted request already produced its
+			// first token on the old configuration; its TTFT happened
+			// then and is not re-recorded.
+			if st.req.FirstToken == 0 {
 				st.req.FirstToken = end
-				e.TTFT.Add(float64(end - st.req.Arrival))
-			} else {
-				e.TBT.Add(float64(end - st.lastToken))
-			}
-			st.lastToken = end
-			if st.produced >= st.req.OutputTokens {
-				st.req.Finish = end
-				e.kvTokens -= float64(st.ctx)
-				e.Completed++
-				if e.onComplete != nil {
-					e.onComplete(st.req)
+				ttft := float64(end - st.req.Arrival)
+				e.TTFT.Add(ttft)
+				if e.sink != nil {
+					e.sink.ObserveTTFT(st.req.Class(), ttft)
 				}
-				continue
 			}
-			still = append(still, st)
+		} else {
+			gap := float64(end - st.lastToken)
+			e.TBT.Add(gap)
+			if e.sink != nil {
+				e.sink.ObserveTBT(st.req.Class(), gap)
+			}
 		}
-		e.active = still
-		e.running = false
-		e.kick()
-	})
+		st.lastToken = end
+		if st.produced >= st.req.OutputTokens {
+			st.req.Finish = end
+			e.kvTokens -= float64(st.ctx)
+			e.Completed++
+			if e.onComplete != nil {
+				// The pointer is valid for the duration of the call
+				// only: the seqState (and any SubmitCopy storage) is
+				// recycled immediately after.
+				e.onComplete(st.req)
+			}
+			e.putState(st)
+			continue
+		}
+		live = append(live, st)
+	}
+	for i := len(live); i < len(e.active); i++ {
+		e.active[i] = nil
+	}
+	e.active = live
+	e.running = false
+	e.kick()
 }
 
 // --- Profiling measurer ---------------------------------------------------------
@@ -251,8 +428,12 @@ func Measure(cfg perfmodel.Config, lambda float64, inTokens, outTokens int, sloS
 	return obs
 }
 
-// SetOnComplete registers a completion callback.
+// SetOnComplete registers a completion callback. The *workload.Request it
+// receives is only valid during the call (SubmitCopy storage is pooled).
 func (e *Engine) SetOnComplete(fn func(*workload.Request)) { e.onComplete = fn }
+
+// SetSink registers a per-class latency sink (nil disables capture).
+func (e *Engine) SetSink(s LatencySink) { e.sink = s }
 
 // --- Fig. 3: frequency-switch overhead ------------------------------------------
 

@@ -40,6 +40,11 @@ type Config struct {
 	// deterministic for any value: each simulation owns its RNG and the
 	// Runner slots results by index, never by completion order.
 	Parallelism int
+	// Fidelity selects the instance service model for every cluster
+	// simulation the harness runs: core.FidelityFluid (default) or
+	// core.FidelityEvent. Event mode owns one virtual clock per
+	// simulation, so results stay deterministic at any Parallelism.
+	Fidelity core.Fidelity
 }
 
 // Default returns the standard harness configuration.
@@ -288,6 +293,7 @@ func (c Config) systemOptions(name string, mutate func(*core.Options)) (core.Opt
 		return core.Options{}, false
 	}
 	opts.Seed = c.Seed
+	opts.Fidelity = c.Fidelity
 	opts.WarmLoad = c.warm(trace.Conversation, trace.OpenSourceHourStart)
 	if mutate != nil {
 		mutate(&opts)

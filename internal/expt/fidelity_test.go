@@ -1,0 +1,107 @@
+package expt
+
+import (
+	"strings"
+	"testing"
+
+	"dynamollm/internal/core"
+	"dynamollm/internal/scenario"
+)
+
+// TestFidelityCompareShapes: the cross-validation grid covers every system
+// under both backends and the render carries the deltas.
+func TestFidelityCompareShapes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("cluster simulation")
+	}
+	c := quickCfg()
+	c.PeakRPS = 18
+	rows := c.FidelityCompare()
+	if len(rows) != len(core.SystemNames) {
+		t.Fatalf("rows = %d, want %d", len(rows), len(core.SystemNames))
+	}
+	for _, r := range rows {
+		if r.Fluid == nil || r.Event == nil {
+			t.Fatalf("%s: missing a backend result", r.System)
+		}
+		if r.Fluid.Requests != r.Event.Requests {
+			t.Errorf("%s: routing diverged across backends (%d vs %d requests)",
+				r.System, r.Fluid.Requests, r.Event.Requests)
+		}
+		if r.Event.Completed == 0 {
+			t.Errorf("%s: event backend completed nothing", r.System)
+		}
+	}
+	out := RenderFidelity(rows)
+	if !strings.Contains(out, "dynamollm") || !strings.Contains(out, "event") {
+		t.Error("render incomplete")
+	}
+}
+
+// eventScenarioCfg is the thinned harness the event-fidelity scenario
+// tests share (event mode is the slow path; the assertions are about
+// completion and determinism, not scale).
+func eventScenarioCfg(jobs int) Config {
+	c := quickCfg()
+	c.PeakRPS = 3
+	c.Parallelism = jobs
+	c.Fidelity = core.FidelityEvent
+	return c
+}
+
+// runEventScenarios drives the scenarios through dynamollm under event
+// fidelity, asserting every routed request is accounted, and returns the
+// rendered results for determinism comparison.
+func runEventScenarios(t *testing.T, c Config, scs []*scenario.Scenario) string {
+	t.Helper()
+	rs, err := c.ScenarioRuns(scs, []string{"dynamollm"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	for _, r := range rs {
+		res := r.Systems[0].Result
+		if res.Requests == 0 || res.Completed == 0 {
+			t.Errorf("scenario %q served nothing under event fidelity", r.Scenario.Name)
+		}
+		if got := res.Completed + res.Squashed; got < res.Requests {
+			t.Errorf("scenario %q lost requests: %d completed + %d squashed < %d routed",
+				r.Scenario.Name, res.Completed, res.Squashed, res.Requests)
+		}
+		b.WriteString(RenderScenario(r))
+	}
+	return b.String()
+}
+
+// TestScenarioLibraryCompletesUnderEventFidelity: every built-in scenario
+// runs to completion on the event backend.
+func TestScenarioLibraryCompletesUnderEventFidelity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("cluster simulation (event fidelity)")
+	}
+	runEventScenarios(t, eventScenarioCfg(0), scenario.Library())
+}
+
+// TestEventScenarioJobsIndependent: event-mode results are byte-identical
+// at any worker-pool parallelism (the per-run virtual clock and engines
+// share no state between simulations). Uses the two cheapest scenarios
+// (quarter-day, no saturating spike) so the sequential arm stays fast
+// under -race.
+func TestEventScenarioJobsIndependent(t *testing.T) {
+	if testing.Short() {
+		t.Skip("cluster simulation (event fidelity)")
+	}
+	subset := make([]*scenario.Scenario, 0, 2)
+	for _, name := range []string{"price-surge", "slo-crunch"} {
+		sc, ok := scenario.ByName(name)
+		if !ok {
+			t.Fatalf("missing built-in scenario %q", name)
+		}
+		subset = append(subset, sc)
+	}
+	seq := runEventScenarios(t, eventScenarioCfg(1), subset)
+	par := runEventScenarios(t, eventScenarioCfg(8), subset)
+	if seq != par {
+		t.Error("event-mode scenario results differ across -jobs")
+	}
+}
