@@ -6,7 +6,7 @@ GO ?= go
 # Sequence number for committed benchmark baselines (BENCH_<N>.json).
 N ?= dev
 
-.PHONY: all build test lint docs-check bench bench-json profile smoke scenario-smoke event-smoke fidelity-smoke
+.PHONY: all build test lint docs-check bench bench-json profile smoke scenario-smoke event-smoke fidelity-smoke serve-smoke
 
 all: build lint docs-check test
 
@@ -68,3 +68,9 @@ event-smoke:
 # the table with the scenario-sweep artifact.
 fidelity-smoke:
 	$(GO) run ./cmd/dynamobench -quick fidelity | tee fidelity-deltas.txt
+
+# End-to-end: the live serving control plane. Starts an event-fidelity
+# dynamoserve, drives it with dynamoload at 500 req/s, injects a runtime
+# event, scrapes /metrics, and asserts a clean drain on shutdown.
+serve-smoke:
+	./scripts/serve_smoke.sh

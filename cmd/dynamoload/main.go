@@ -1,0 +1,159 @@
+// Command dynamoload is an open-loop load generator for dynamoserve: it
+// fires POST /request at a configured rate with Poisson arrivals —
+// independent of response latency, the way real traffic arrives — and
+// reports wall-clock completion latency percentiles plus the server's own
+// view of the run. It exists so the serving control plane's scale story
+// is measurable end to end (make serve-smoke drives it in CI).
+//
+// Usage:
+//
+//	dynamoload -url http://localhost:8080 -rps 500 -duration 10s
+//	dynamoload -rps 50 -mix            # sample realistic request classes
+//
+// Each request blocks for its completion (the server resolves it in
+// accelerated virtual time), so wall latency includes simulated queueing
+// plus pacing granularity. Exit status is non-zero when more than 10% of
+// requests fail or none complete.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"dynamollm/internal/metrics"
+	"dynamollm/internal/simclock"
+	"dynamollm/internal/trace"
+	"dynamollm/internal/workload"
+)
+
+func main() {
+	os.Exit(realMain())
+}
+
+func realMain() int {
+	url := flag.String("url", "http://localhost:8080", "dynamoserve base URL")
+	rps := flag.Float64("rps", 100, "target request rate (req/s, Poisson arrivals)")
+	duration := flag.Duration("duration", 10*time.Second, "how long to generate load")
+	inTok := flag.Int("in", 512, "input tokens per request")
+	outTok := flag.Int("out", 187, "output tokens per request")
+	mix := flag.Bool("mix", false, "sample class-realistic token lengths instead of fixed -in/-out")
+	seed := flag.Uint64("seed", 1, "random seed for arrivals and the -mix sampler")
+	timeout := flag.Duration("timeout", 60*time.Second, "per-request completion timeout")
+	flag.Parse()
+	if *rps <= 0 || *duration <= 0 {
+		fmt.Fprintln(os.Stderr, "dynamoload: -rps and -duration must be positive")
+		flag.Usage()
+		return 2
+	}
+
+	client := &http.Client{
+		Timeout: *timeout,
+		Transport: &http.Transport{
+			MaxIdleConns:        1024,
+			MaxIdleConnsPerHost: 1024,
+		},
+	}
+
+	var (
+		sent, completed, failed, squashed atomic.Int64
+		mu                                sync.Mutex
+		latency                           = metrics.NewDist()
+	)
+	rng := simclock.NewRNG(*seed)
+	lenRNG := rng.Split(1)
+	profileWeights := trace.ProfileFor(trace.Conversation).BaseClassWeights
+	classWeights := profileWeights[:]
+
+	var wg sync.WaitGroup
+	start := time.Now()
+	next := start
+	for {
+		// Open loop: the schedule never waits for responses.
+		next = next.Add(time.Duration(rng.Exp(*rps) * float64(time.Second)))
+		if next.Sub(start) >= *duration {
+			break
+		}
+		time.Sleep(time.Until(next))
+		in, out := *inTok, *outTok
+		if *mix {
+			in, out = trace.SampleLengths(lenRNG, workload.Class(rng.Pick(classWeights)))
+		}
+		sent.Add(1)
+		wg.Add(1)
+		go func(in, out int) {
+			defer wg.Done()
+			body, _ := json.Marshal(map[string]int{"input_tokens": in, "output_tokens": out})
+			t0 := time.Now()
+			resp, err := client.Post(*url+"/request", "application/json", bytes.NewReader(body))
+			if err != nil {
+				failed.Add(1)
+				return
+			}
+			defer resp.Body.Close()
+			var done struct {
+				Squashed bool `json:"squashed"`
+			}
+			if resp.StatusCode != http.StatusOK || json.NewDecoder(resp.Body).Decode(&done) != nil {
+				failed.Add(1)
+				return
+			}
+			if done.Squashed {
+				squashed.Add(1)
+			}
+			completed.Add(1)
+			mu.Lock()
+			latency.Add(time.Since(t0).Seconds())
+			mu.Unlock()
+		}(in, out)
+	}
+	sendWindow := time.Since(start)
+	wg.Wait()
+	drainWait := time.Since(start) - sendWindow
+
+	n := sent.Load()
+	fmt.Printf("dynamoload: %d sent in %.1fs (%.1f req/s achieved, target %.1f), %d completed, %d squashed, %d errors, drain wait %.1fs\n",
+		n, sendWindow.Seconds(), float64(n)/sendWindow.Seconds(), *rps, completed.Load(), squashed.Load(), failed.Load(), drainWait.Seconds())
+	fmt.Printf("  wall completion latency: p50=%.3fs p90=%.3fs p99=%.3fs max=%.3fs\n",
+		latency.Percentile(50), latency.Percentile(90), latency.Percentile(99), latency.Max())
+
+	if stats := scrapeStats(client, *url); stats != nil {
+		fmt.Printf("  server: virtual %.0fs, %d requests, slo %.3f, ttft p99 %.3fs, %d servers active, sim lag %.1fs\n",
+			stats["virtual_seconds"], int(stats["requests"]), stats["slo_attainment"],
+			stats["ttft_p99_s"], int(stats["active_servers"]), stats["sim_lag_virtual_s"])
+	}
+
+	if completed.Load() == 0 || failed.Load()*10 > n {
+		fmt.Fprintln(os.Stderr, "dynamoload: failure threshold exceeded")
+		return 1
+	}
+	return 0
+}
+
+// scrapeStats fetches the server's /stats document, reduced to its
+// numeric fields (nil on any error; the load report is still useful
+// without it).
+func scrapeStats(client *http.Client, url string) map[string]float64 {
+	resp, err := client.Get(url + "/stats")
+	if err != nil || resp.StatusCode != http.StatusOK {
+		return nil
+	}
+	defer resp.Body.Close()
+	var raw map[string]interface{}
+	if json.NewDecoder(resp.Body).Decode(&raw) != nil {
+		return nil
+	}
+	stats := make(map[string]float64, len(raw))
+	for k, v := range raw {
+		if f, ok := v.(float64); ok {
+			stats[k] = f
+		}
+	}
+	return stats
+}

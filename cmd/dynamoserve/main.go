@@ -1,164 +1,123 @@
-// Command dynamoserve runs a simulated DynamoLLM cluster behind an HTTP
-// control plane — the stdlib stand-in for the paper's gRPC controllers
-// (§IV-E). The simulation advances in accelerated virtual time while the
-// server exposes live state:
+// Command dynamoserve runs a simulated DynamoLLM cluster as a live
+// serving control plane — the stdlib stand-in for the paper's gRPC
+// controllers (§IV-E). A long-lived serve.Session advances the cluster
+// simulation incrementally on a wall-clock-paced virtual clock (no
+// re-simulation per query) while the server accepts live traffic:
 //
-//	GET  /stats    cluster summary (energy, servers, SLO attainment)
+//	GET  /stats    running cluster summary (energy, servers, SLO, lag)
 //	GET  /config   the active system configuration
-//	POST /request  inject one request {"input_tokens":N,"output_tokens":M}
+//	GET  /metrics  Prometheus text exposition (per-class TTFT/TBT)
+//	POST /request  inject {"input_tokens":N,"output_tokens":M}; blocks
+//	               for the completion (?wait=0 returns on acceptance;
+//	               Accept: text/event-stream streams SSE token events)
+//	POST /events   inject scenario runtime events relative to now, e.g.
+//	               {"kind":"outage","servers":2} or
+//	               {"kind":"price","price_mult":5,"duration_hours":2}
+//
+// The default -fidelity event runs one event-level continuous-batching
+// engine per instance, so injected requests see real queueing, batching,
+// and token-level latencies. SIGINT/SIGTERM drains in-flight work through
+// the engines before exiting.
 //
 // Usage:
 //
-//	dynamoserve -addr :8080 -system dynamollm -peak 45 -speed 60
+//	dynamoserve -addr :8080 -system dynamollm -peak 45 -speed 60 \
+//	            -fidelity event -loop
 package main
 
 import (
-	"encoding/json"
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
-	"sync"
+	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"dynamollm/internal/core"
+	"dynamollm/internal/serve"
 	"dynamollm/internal/simclock"
 	"dynamollm/internal/trace"
 	"dynamollm/internal/workload"
 )
 
-type server struct {
-	mu       sync.Mutex
-	opts     core.Options
-	trace    trace.Trace
-	injected trace.Trace
-	result   *core.Result
-	simTime  float64
-	started  time.Time
-	speed    float64
+func main() {
+	os.Exit(realMain())
 }
 
-func main() {
+func realMain() int {
 	addr := flag.String("addr", ":8080", "listen address")
 	system := flag.String("system", "dynamollm", "control system (see /config)")
 	peak := flag.Float64("peak", 45, "weekly-peak request rate")
 	speed := flag.Float64("speed", 60, "virtual seconds per wall second")
 	seed := flag.Uint64("seed", 42, "random seed")
+	fidelity := flag.String("fidelity", "event", "instance fidelity backend: fluid|event")
+	loop := flag.Bool("loop", true, "replay the base trace when its horizon is reached")
+	waitTimeout := flag.Duration("wait-timeout", serve.DefaultWaitTimeout, "max wall time a /request waits for its completion")
 	flag.Parse()
 
 	opts, ok := core.SystemByName(*system)
 	if !ok {
-		log.Fatalf("unknown system %q (want one of %v)", *system, core.SystemNames)
+		fmt.Fprintf(os.Stderr, "dynamoserve: unknown system %q (want one of %v)\n\n", *system, core.SystemNames)
+		flag.Usage()
+		return 2
 	}
+	fid, err := core.ParseFidelity(*fidelity)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "dynamoserve: unknown fidelity %q (want one of %v)\n\n", *fidelity, core.FidelityNames)
+		flag.Usage()
+		return 2
+	}
+	opts.Fidelity = fid
 	opts.Seed = *seed
+	base := trace.OpenSourceHour(*peak, *seed)
+	// With -loop, the session wraps this curve at its replay period so
+	// the predictor stays in phase with the replayed traffic.
 	opts.WarmLoad = func(t simclock.Time, c workload.Class) float64 {
 		return trace.ExpectedRate(trace.Conversation, *peak, t+trace.OpenSourceHourStart, c)
 	}
 
-	s := &server{
-		opts:    opts,
-		trace:   trace.OpenSourceHour(*peak, *seed),
-		started: time.Now(),
-		speed:   *speed,
-	}
-
-	mux := http.NewServeMux()
-	mux.HandleFunc("GET /stats", s.handleStats)
-	mux.HandleFunc("GET /config", s.handleConfig)
-	mux.HandleFunc("POST /request", s.handleRequest)
-
-	log.Printf("dynamoserve: %s on %s (x%.0f virtual time, %d trace requests)",
-		*system, *addr, *speed, len(s.trace))
-	log.Fatal(http.ListenAndServe(*addr, mux))
-}
-
-// advance re-simulates the trace up to the current virtual time. The
-// discrete-time simulator is fast enough to recompute from scratch on each
-// query, which keeps the server stateless and consistent.
-func (s *server) advance() {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.simTime = time.Since(s.started).Seconds() * s.speed
-	if s.simTime > 3600 {
-		s.simTime = 3600
-	}
-	window := append(trace.Trace{}, s.trace...)
-	window = append(window, s.injected...)
-	var upto trace.Trace
-	for _, e := range window {
-		if float64(e.At) <= s.simTime {
-			upto = append(upto, e)
-		}
-	}
-	s.result = core.Run(upto, s.opts)
-}
-
-func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
-	s.advance()
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	res := s.result
-	writeJSON(w, map[string]interface{}{
-		"virtual_seconds": s.simTime,
-		"requests":        res.Requests,
-		"squashed":        res.Squashed,
-		"energy_kwh":      res.EnergyKWh(),
-		"avg_servers":     res.AvgServers,
-		"slo_attainment":  res.SLOAttainment(),
-		"ttft_p99_s":      res.TTFT.Percentile(99),
-		"tbt_p99_s":       res.TBT.Percentile(99),
-		"reshards":        res.Reshards,
-		"scale_outs":      res.ScaleOuts,
-		"emergencies":     res.Emergencies,
+	session := serve.New(serve.Config{
+		Name:  *system,
+		Opts:  opts,
+		Trace: base,
+		Speed: *speed,
+		Loop:  *loop,
+		Logf:  log.Printf,
 	})
-}
+	session.Start()
 
-func (s *server) handleConfig(w http.ResponseWriter, r *http.Request) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	writeJSON(w, map[string]interface{}{
-		"systems":            core.SystemNames,
-		"model":              s.opts.Model,
-		"num_pools":          s.opts.NumPools,
-		"scale_instances":    s.opts.ScaleInstances,
-		"scale_sharding":     s.opts.ScaleSharding,
-		"scale_frequency":    s.opts.ScaleFrequency,
-		"reduced_overheads":  s.opts.ReducedOverheads,
-		"servers":            s.opts.Servers,
-		"predictor_accuracy": s.opts.PredictorAccuracy,
-	})
-}
+	srv := &http.Server{Addr: *addr, Handler: serve.NewHandler(session, *waitTimeout)}
+	log.Printf("dynamoserve: %s on %s (x%.0f virtual time, %s fidelity, %d trace requests, loop=%v)",
+		*system, *addr, *speed, fid, len(base), *loop)
 
-func (s *server) handleRequest(w http.ResponseWriter, r *http.Request) {
-	var body struct {
-		InputTokens  int `json:"input_tokens"`
-		OutputTokens int `json:"output_tokens"`
-	}
-	if err := json.NewDecoder(r.Body).Decode(&body); err != nil {
-		http.Error(w, err.Error(), http.StatusBadRequest)
-		return
-	}
-	if body.InputTokens <= 0 || body.OutputTokens <= 0 {
-		http.Error(w, "input_tokens and output_tokens must be positive", http.StatusBadRequest)
-		return
-	}
-	s.mu.Lock()
-	at := simclock.Time(s.simTime)
-	s.injected = append(s.injected, trace.Entry{
-		At:           at,
-		InputTokens:  body.InputTokens,
-		OutputTokens: body.OutputTokens,
-	})
-	s.mu.Unlock()
-	writeJSON(w, map[string]interface{}{
-		"accepted_at_virtual_s": float64(at),
-		"class":                 workload.Classify(body.InputTokens, body.OutputTokens).String(),
-	})
-}
+	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer cancel()
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
 
-func writeJSON(w http.ResponseWriter, v interface{}) {
-	w.Header().Set("Content-Type", "application/json")
-	if err := json.NewEncoder(w).Encode(v); err != nil {
-		fmt.Println("encode:", err)
+	select {
+	case err := <-errc:
+		log.Printf("dynamoserve: %v", err)
+		return 1
+	case <-ctx.Done():
 	}
+
+	// Graceful shutdown: drain the simulation first — Close resolves
+	// every blocked /request waiter (new injections are already rejected
+	// as "session closed") — then let the handlers flush their responses
+	// before the listener goes away.
+	log.Printf("dynamoserve: shutting down, draining in-flight work")
+	res, drained := session.Close()
+	shutdownCtx, cancelShutdown := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancelShutdown()
+	if err := srv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Printf("dynamoserve: shutdown: %v", err)
+	}
+	log.Printf("dynamoserve: served %.0f virtual s: %d requests (%d squashed), %.1f kWh, SLO %.3f, drained %d in flight",
+		res.Duration, res.Requests, res.Squashed, res.EnergyKWh(), res.SLOAttainment(), drained)
+	return 0
 }

@@ -27,6 +27,7 @@ import (
 	"dynamollm/internal/model"
 	"dynamollm/internal/profile"
 	"dynamollm/internal/scenario"
+	"dynamollm/internal/serve"
 	"dynamollm/internal/simclock"
 	"dynamollm/internal/trace"
 	"dynamollm/internal/workload"
@@ -236,6 +237,37 @@ func SimulateScenario(name string, peakRPS float64, cfg Config) (*Result, error)
 // each experiment's independent simulations across a bounded worker pool;
 // results are deterministic for any parallelism level.
 func Experiments() expt.Config { return expt.Default() }
+
+// Session is a live, wall-clock-paced serving session: the simulation
+// advances incrementally as real time passes (at a configurable speedup)
+// while requests and scenario runtime events are injected at their true
+// virtual arrival instants. cmd/dynamoserve exposes one over HTTP; see
+// NewSession to embed one directly.
+type Session = serve.Session
+
+// NewSession opens a live serving session over the base trace under cfg
+// (cfg.Fidelity "event" gives injected requests real queueing and
+// token-level latencies). speed is virtual seconds per wall second; loop
+// replays the base trace whenever its horizon is reached so background
+// load never runs dry. Call Start on the returned session to begin
+// pacing, and Close to drain in-flight work when done.
+func NewSession(tr Trace, cfg Config, speed float64, loop bool) (*Session, error) {
+	opts, err := cfg.coreOptions()
+	if err != nil {
+		return nil, err
+	}
+	name := cfg.System
+	if name == "" {
+		name = "dynamollm"
+	}
+	return serve.New(serve.Config{
+		Name:  name,
+		Opts:  opts,
+		Trace: tr,
+		Speed: speed,
+		Loop:  loop,
+	}), nil
+}
 
 // ExperimentsParallel returns the evaluation harness with its Parallelism
 // knob set: jobs bounds concurrent simulations per experiment (0 = one

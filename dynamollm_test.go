@@ -114,3 +114,22 @@ func TestSimulateScenario(t *testing.T) {
 		t.Errorf("scenario library too small: %v", Scenarios())
 	}
 }
+
+// TestNewSession: the facade opens a live serving session that advances
+// with (injected) wall time and resolves injected requests.
+func TestNewSession(t *testing.T) {
+	s, err := NewSession(nil, Config{System: "singlepool", Fidelity: "event", Seed: 3}, 60, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if _, _, err := s.Inject(128, 16, false); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewSession(nil, Config{System: "bogus"}, 60, false); err == nil {
+		t.Error("unknown system accepted")
+	}
+	if _, err := NewSession(nil, Config{Fidelity: "bogus"}, 60, false); err == nil {
+		t.Error("unknown fidelity accepted")
+	}
+}

@@ -180,6 +180,9 @@ func (b *eventBackend) engineFor(in *Instance) *instEngine {
 		ie = &instEngine{eng: engine.New(cfg, b.clock), cls: workload.Classify(int(avgOr(in.mixIn, 512)), int(avgOr(in.mixOut, 200)))}
 		ie.eng.SetOnComplete(b.complete)
 		ie.eng.SetSink(b)
+		if b.s.opts.Observer != nil {
+			ie.eng.SetOnToken(b.token)
+		}
 		if in.state != stateActive && in.readyAt > b.clock.Now() {
 			ie.eng.Freeze(in.readyAt)
 		}
@@ -211,6 +214,7 @@ func (b *eventBackend) submitAt(in *Instance, r workload.Request, at simclock.Ti
 			target = earliestReady(b.c.pools[in.Pool])
 			if target == nil || target == in {
 				b.res.Squashed++
+				b.notifySquashed(r)
 				return
 			}
 		}
@@ -257,7 +261,7 @@ func (b *eventBackend) Retire(in *Instance, now simclock.Time, graceful bool) {
 	in.backlog = 0
 	if !graceful {
 		// Outage: in-flight work dies with the machine.
-		b.res.Squashed += ie.eng.Drain(nil)
+		b.res.Squashed += ie.eng.Drain(b.squashSink())
 		b.settleEnergy(ie, b.clock.Now())
 		return
 	}
@@ -269,6 +273,10 @@ func (b *eventBackend) Retire(in *Instance, now simclock.Time, graceful bool) {
 	target := earliestReady(b.c.pools[in.Pool]) // in is stateOff: skipped
 	if target == nil || target == in {
 		b.res.Squashed += len(b.scratch)
+		for _, r := range b.scratch {
+			b.notifySquashed(r)
+		}
+		b.scratch = b.scratch[:0]
 		return
 	}
 	te := b.engineFor(target)
@@ -321,7 +329,7 @@ func (b *eventBackend) Finish(end simclock.Time) {
 		if ie == nil {
 			continue
 		}
-		b.res.Squashed += ie.eng.Drain(nil)
+		b.res.Squashed += ie.eng.Drain(b.squashSink())
 		// The drain tail runs past the horizon; book its energy at the
 		// horizon so the series (and carbon pricing) stays inside the
 		// simulated window.
@@ -356,10 +364,45 @@ func (b *eventBackend) complete(req *workload.Request) {
 	if tbt := req.AvgTBT(); tbt >= 0 {
 		res.TBT.Add(tbt)
 	}
-	if req.MeetsSLO() {
+	met := req.MeetsSLO()
+	if met {
 		res.SLOMet++
 	} else {
 		res.ClassViolations[cls]++
+	}
+	if obs := b.s.opts.Observer; obs != nil {
+		obs.RequestDone(req, req.TTFT(), req.AvgTBT(), met)
+	}
+}
+
+// token forwards an engine's per-token event to the run observer for
+// tagged (live-injected) requests only, keeping untracked batch traffic
+// off the notification path.
+func (b *eventBackend) token(req *workload.Request, produced int, now simclock.Time) {
+	if req.Tag != 0 {
+		b.s.opts.Observer.RequestToken(req, produced, now)
+	}
+}
+
+// squashSink returns the Drain callback that reports each dropped request
+// to the run observer, or nil when no observer is installed (the batch
+// path keeps its allocation-free Drain(nil)).
+func (b *eventBackend) squashSink() func(workload.Request) {
+	obs := b.s.opts.Observer
+	if obs == nil {
+		return nil
+	}
+	return func(r workload.Request) {
+		r.Squashed = true
+		obs.RequestDone(&r, -1, -1, false)
+	}
+}
+
+// notifySquashed reports one squashed in-transit request to the observer.
+func (b *eventBackend) notifySquashed(r workload.Request) {
+	if obs := b.s.opts.Observer; obs != nil {
+		r.Squashed = true
+		obs.RequestDone(&r, -1, -1, false)
 	}
 }
 

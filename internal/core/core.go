@@ -133,6 +133,30 @@ type Options struct {
 	// into Result.EnergyCostUSD (scaled by any hook-injected price
 	// multiplier). Zero takes the §V-F default (ERCOT-like $0.03/kWh).
 	EnergyPriceUSDPerKWh float64
+
+	// Observer, when non-nil, receives per-request terminal notifications
+	// (and, under FidelityEvent, per-token events for tagged requests)
+	// from whichever backend serves the run. The live serving session
+	// installs one to resolve injected requests; batch experiments leave
+	// it nil, which keeps the steady tick loop allocation-free.
+	Observer RequestObserver
+}
+
+// RequestObserver receives request lifecycle notifications from a running
+// simulation. Callbacks fire synchronously inside the tick loop (or the
+// event clock), so implementations must be fast and must not re-enter the
+// simulation.
+type RequestObserver interface {
+	// RequestToken fires for each output token an event-fidelity engine
+	// produces for a request with a non-zero Tag (never under
+	// FidelityFluid, which has no token-level events). The pointer is
+	// only valid during the call.
+	RequestToken(req *workload.Request, produced int, now simclock.Time)
+	// RequestDone fires exactly once when a request reaches a terminal
+	// state: served (ttft/tbt in seconds, met is the SLO judgement) or
+	// squashed (req.Squashed set, ttft = tbt = -1, met = false). The
+	// pointer is only valid during the call.
+	RequestDone(req *workload.Request, ttft, tbt float64, met bool)
 }
 
 // withDefaults fills the paper's defaults.

@@ -392,6 +392,16 @@ type simulation struct {
 	lastPoolEpoch    int
 	lastClusterEpoch int
 
+	// injected is the live-injection queue (Live.Inject): arrivals
+	// inserted after the run started, kept time-sorted and merged with
+	// the base trace at consumption so neither stream is ever memmoved.
+	// injIdx is its consumption cursor; arrivals numbers requests across
+	// both streams (for a pure-trace run it equals idx, so batch IDs are
+	// unchanged).
+	injected []trace.Entry
+	injIdx   int
+	arrivals uint64
+
 	// ctl is the reusable Controls facade handed to Options.Hook each
 	// tick (allocated once at setup).
 	ctl *Controls
@@ -531,11 +541,15 @@ func (sm *simulation) step(tick int) {
 
 	// Route this tick's arrivals (§IV-D predictive scheduling).
 	sm.reqs = sm.reqs[:0]
-	for sm.idx < len(sm.tr) && sm.tr[sm.idx].At < tickEnd {
-		e := sm.tr[sm.idx]
-		sm.idx++
+	for {
+		e, ok := sm.nextArrival(tickEnd)
+		if !ok {
+			break
+		}
+		sm.arrivals++
 		sm.reqs = append(sm.reqs, workload.Request{
-			ID:           uint64(sm.idx),
+			ID:           sm.arrivals,
+			Tag:          e.Tag,
 			Arrival:      e.At,
 			InputTokens:  e.InputTokens,
 			OutputTokens: e.OutputTokens,
@@ -580,6 +594,9 @@ func (sm *simulation) step(tick int) {
 			req.Squashed = true
 			res.Squashed++
 			res.Requests++
+			if obs := opts.Observer; obs != nil {
+				obs.RequestDone(req, -1, -1, false)
+			}
 			continue
 		}
 		a := sm.assignFor(in.ID)
@@ -603,6 +620,40 @@ func (sm *simulation) step(tick int) {
 	// on the shared virtual clock up to the tick boundary); the fluid
 	// backend evaluates instances analytically in Advance below.
 	s.backend.RunTo(tickEnd)
+
+	sm.accountTick(now)
+}
+
+// nextArrival pops the earliest pending arrival before tickEnd, merging
+// the base trace with the live-injection queue (base entries first among
+// equal instants, so a pure-trace run consumes in exactly the batch
+// order). The consumed injection prefix is compacted lazily so the queue
+// reuses its backing array.
+func (sm *simulation) nextArrival(tickEnd simclock.Time) (trace.Entry, bool) {
+	haveBase := sm.idx < len(sm.tr) && sm.tr[sm.idx].At < tickEnd
+	haveInj := sm.injIdx < len(sm.injected) && sm.injected[sm.injIdx].At < tickEnd
+	switch {
+	case haveBase && (!haveInj || sm.tr[sm.idx].At <= sm.injected[sm.injIdx].At):
+		e := sm.tr[sm.idx]
+		sm.idx++
+		return e, true
+	case haveInj:
+		e := sm.injected[sm.injIdx]
+		sm.injected[sm.injIdx] = trace.Entry{}
+		sm.injIdx++
+		if sm.injIdx == len(sm.injected) {
+			sm.injected = sm.injected[:0]
+			sm.injIdx = 0
+		}
+		return e, true
+	}
+	return trace.Entry{}, false
+}
+
+// accountTick closes one tick: per-instance rate updates, instance
+// managers, energy integration, latency sampling, and series capture.
+func (sm *simulation) accountTick(now simclock.Time) {
+	c, s, res, opts := sm.c, sm.s, sm.res, sm.opts
 
 	// Update per-instance rates, run instance managers, integrate
 	// energy, and sample latencies.
@@ -750,6 +801,18 @@ func (c *Cluster) compactPools() {
 		}
 		p.Instances = live
 	}
+}
+
+// TraceTemplate builds a per-class expected-rate function from a trace —
+// the predictor warm-up RunWithRepo derives when Options.WarmLoad is
+// unset. Exported for the live serving session, which wraps it at the
+// trace replay period when looping (the raw template is zero past the
+// trace horizon). slotWidth <= 0 takes the default cluster epoch.
+func TraceTemplate(tr trace.Trace, slotWidth float64) func(simclock.Time, workload.Class) float64 {
+	if slotWidth <= 0 {
+		slotWidth = 30 * simclock.Minute
+	}
+	return traceTemplate(tr, slotWidth)
 }
 
 // traceTemplate builds a per-class rate function from a trace, bucketed at
@@ -974,12 +1037,16 @@ func (sm *simulation) sampleLatencies(in *Instance, st perfmodel.Steady, reqIdx 
 		st = c.steadyLookup(steadyKeyFor(in.TP, in.freqCtl.Current(),
 			math.Max(capRate, 0.01), avgOr(in.mixIn, 512), avgOr(in.mixOut, 200)))
 	}
+	obs := sm.opts.Observer
 	for _, ri := range reqIdx {
 		req := &sm.reqs[ri]
 		res.Completed++
 		if st.IterTime == 0 {
 			res.TTFT.Add(req.SLO().TTFT * 3)
 			res.TBT.Add(req.SLO().TBT * 2)
+			if obs != nil {
+				obs.RequestDone(req, req.SLO().TTFT*3, req.SLO().TBT*2, false)
+			}
 			continue
 		}
 		// TTFT: own prompt's chunks at this instance's pace, plus
@@ -1012,10 +1079,14 @@ func (sm *simulation) sampleLatencies(in *Instance, st perfmodel.Steady, reqIdx 
 		slo := req.SLO()
 		cls := req.Class()
 		res.ClassRequests[cls]++
-		if ttft <= slo.TTFT && tbt <= slo.TBT {
+		met := ttft <= slo.TTFT && tbt <= slo.TBT
+		if met {
 			res.SLOMet++
 		} else {
 			res.ClassViolations[cls]++
+		}
+		if obs != nil {
+			obs.RequestDone(req, ttft, tbt, met)
 		}
 	}
 }

@@ -100,6 +100,8 @@ type Engine struct {
 
 	// onComplete, if set, is called as requests finish.
 	onComplete func(*workload.Request)
+	// onToken, if set, is called for every produced output token.
+	onToken func(req *workload.Request, produced int, now simclock.Time)
 	// sink, if set, receives per-class latency samples (SetSink).
 	sink LatencySink
 }
@@ -359,6 +361,9 @@ func (e *Engine) finishIteration() {
 			}
 		}
 		st.lastToken = end
+		if e.onToken != nil {
+			e.onToken(st.req, st.produced, end)
+		}
 		if st.produced >= st.req.OutputTokens {
 			st.req.Finish = end
 			e.kvTokens -= float64(st.ctx)
@@ -434,6 +439,16 @@ func (e *Engine) SetOnComplete(fn func(*workload.Request)) { e.onComplete = fn }
 
 // SetSink registers a per-class latency sink (nil disables capture).
 func (e *Engine) SetSink(s LatencySink) { e.sink = s }
+
+// SetOnToken registers a per-token callback, fired once for every output
+// token as it is produced (after TTFT/TBT accounting, before completion
+// handling). The *workload.Request is only valid during the call. The live
+// serving session uses it to stream token events for injected requests.
+// A request drained and resubmitted (re-shard, migration) restarts
+// generation, so `produced` can restart from 1 for the same request.
+func (e *Engine) SetOnToken(fn func(req *workload.Request, produced int, now simclock.Time)) {
+	e.onToken = fn
+}
 
 // --- Fig. 3: frequency-switch overhead ------------------------------------------
 

@@ -96,6 +96,66 @@ func (e Event) window() (from, to simclock.Time) {
 	return from, to
 }
 
+// Runtime reports whether the kind fires inside a running simulation
+// (through the tick hook) rather than rewriting the trace before it
+// starts. Only runtime kinds can be injected into a live serving session.
+func (k Kind) Runtime() bool {
+	switch k {
+	case Outage, Recovery, Price, SLO:
+		return true
+	}
+	return false
+}
+
+// ValidateEvent checks the fields an event's kind requires, independent
+// of any scenario trace window. Scenario.Validate adds the window bounds
+// on top; the live serving session validates injected events with this
+// alone.
+func ValidateEvent(e Event) error {
+	switch e.Kind {
+	case Spike:
+		if e.RateMult <= 0 {
+			return fmt.Errorf("rate_mult must be positive")
+		}
+		if e.DurationHours <= 0 {
+			return fmt.Errorf("duration_hours must be positive")
+		}
+	case MixShift:
+		if e.DurationHours <= 0 {
+			return fmt.Errorf("duration_hours must be positive")
+		}
+		if len(e.ClassWeights) == 0 {
+			return fmt.Errorf("class_weights must name at least one class")
+		}
+		for name := range e.ClassWeights {
+			if _, err := workload.ParseClass(name); err != nil {
+				return err
+			}
+		}
+	case Outage, Recovery:
+		if e.Servers <= 0 {
+			return fmt.Errorf("servers must be positive")
+		}
+	case Price:
+		if e.PriceMult <= 0 {
+			return fmt.Errorf("price_mult must be positive")
+		}
+		if e.DurationHours <= 0 {
+			return fmt.Errorf("duration_hours must be positive")
+		}
+	case SLO:
+		if e.SLOFactor <= 0 {
+			return fmt.Errorf("slo_factor must be positive")
+		}
+		if e.DurationHours <= 0 {
+			return fmt.Errorf("duration_hours must be positive")
+		}
+	default:
+		return fmt.Errorf("unknown kind")
+	}
+	return nil
+}
+
 // Scenario is a named, self-contained experiment condition: a base
 // synthetic trace (service, window, duration) plus the event timeline
 // perturbing it. The zero value is not useful; construct literals, use
@@ -169,46 +229,8 @@ func (s *Scenario) Validate() error {
 		if e.AtHours < 0 || e.AtHours > horizon {
 			return fmt.Errorf("%s: at_hours %v outside the %v-hour trace", at, e.AtHours, horizon)
 		}
-		switch e.Kind {
-		case Spike:
-			if e.RateMult <= 0 {
-				return fmt.Errorf("%s: rate_mult must be positive", at)
-			}
-			if e.DurationHours <= 0 {
-				return fmt.Errorf("%s: duration_hours must be positive", at)
-			}
-		case MixShift:
-			if e.DurationHours <= 0 {
-				return fmt.Errorf("%s: duration_hours must be positive", at)
-			}
-			if len(e.ClassWeights) == 0 {
-				return fmt.Errorf("%s: class_weights must name at least one class", at)
-			}
-			for name := range e.ClassWeights {
-				if _, err := workload.ParseClass(name); err != nil {
-					return fmt.Errorf("%s: %v", at, err)
-				}
-			}
-		case Outage, Recovery:
-			if e.Servers <= 0 {
-				return fmt.Errorf("%s: servers must be positive", at)
-			}
-		case Price:
-			if e.PriceMult <= 0 {
-				return fmt.Errorf("%s: price_mult must be positive", at)
-			}
-			if e.DurationHours <= 0 {
-				return fmt.Errorf("%s: duration_hours must be positive", at)
-			}
-		case SLO:
-			if e.SLOFactor <= 0 {
-				return fmt.Errorf("%s: slo_factor must be positive", at)
-			}
-			if e.DurationHours <= 0 {
-				return fmt.Errorf("%s: duration_hours must be positive", at)
-			}
-		default:
-			return fmt.Errorf("%s: unknown kind", at)
+		if err := ValidateEvent(e); err != nil {
+			return fmt.Errorf("%s: %v", at, err)
 		}
 	}
 	return nil
@@ -289,16 +311,31 @@ func (s *Scenario) ApplyTrace(tr trace.Trace, seed uint64) trace.Trace {
 // price signals, SLO windows) into a core.Timeline tick hook, or nil if
 // there are none. Every call returns a fresh hook: a Timeline carries
 // per-run cursor state and must never be shared between simulations.
+func (s *Scenario) Hook() core.TickHook {
+	events := RuntimeTimeline(s.Events, 0)
+	if len(events) == 0 {
+		return nil
+	}
+	return core.NewTimeline(events)
+}
+
+// RuntimeTimeline compiles the runtime-kind events of a timeline (outage,
+// recovery, price, slo) into core timeline events, each firing through
+// the Controls facade at offset plus its scheduled instant. Trace-level
+// kinds (spike, mix-shift) are skipped: they rewrite arrivals before a
+// simulation starts and have no runtime form. The offset lets the live
+// serving session schedule an operator-posted timeline relative to the
+// current virtual time instead of the trace start.
 //
 // Price and SLO windows may overlap or abut; at any instant the value in
 // force is that of the most recently started window still open (1 when
 // none is). Windows are compiled to boundary events carrying the active
 // value, so a window ending can never clobber another that is still
 // running.
-func (s *Scenario) Hook() core.TickHook {
+func RuntimeTimeline(timeline []Event, offset simclock.Time) []core.TimelineEvent {
 	var events []core.TimelineEvent
 	var priceWins, sloWins []valueWindow
-	for _, e := range s.Events {
+	for _, e := range timeline {
 		e := e
 		from, to := e.window()
 		switch e.Kind {
@@ -316,10 +353,12 @@ func (s *Scenario) Hook() core.TickHook {
 	}
 	events = append(events, boundaryEvents(priceWins, (*core.Controls).SetPriceMult)...)
 	events = append(events, boundaryEvents(sloWins, (*core.Controls).SetSLOFactor)...)
-	if len(events) == 0 {
-		return nil
+	if offset != 0 {
+		for i := range events {
+			events[i].At += offset
+		}
 	}
-	return core.NewTimeline(events)
+	return events
 }
 
 // valueWindow is a half-open [from, to) interval during which a price or

@@ -377,3 +377,48 @@ func TestWindowCompilation(t *testing.T) {
 		}
 	}
 }
+
+// TestRuntimeTimeline covers the live-injection entry point: trace-level
+// kinds are skipped, runtime kinds compile, and the offset shifts every
+// firing instant (the serving session schedules relative to "now").
+func TestRuntimeTimeline(t *testing.T) {
+	events := []Event{
+		{Kind: Spike, AtHours: 0, DurationHours: 1, RateMult: 3}, // trace-level: skipped
+		{Kind: Outage, AtHours: 1, Servers: 2},
+		{Kind: Price, AtHours: 2, DurationHours: 1, PriceMult: 5},
+	}
+	const offset = simclock.Time(500)
+	evs := RuntimeTimeline(events, offset)
+	// outage + price window start + price window end
+	if len(evs) != 3 {
+		t.Fatalf("compiled %d events, want 3 (spike must be skipped)", len(evs))
+	}
+	if evs[0].At != offset+simclock.Time(3600) {
+		t.Errorf("outage fires at %v, want %v", evs[0].At, offset+simclock.Time(3600))
+	}
+	for _, e := range evs {
+		if e.At < offset {
+			t.Errorf("event at %v fires before the offset %v", e.At, offset)
+		}
+	}
+
+	for _, k := range []Kind{Outage, Recovery, Price, SLO} {
+		if !k.Runtime() {
+			t.Errorf("%s.Runtime() = false, want true", k)
+		}
+	}
+	for _, k := range []Kind{Spike, MixShift, Kind("bogus")} {
+		if k.Runtime() {
+			t.Errorf("%s.Runtime() = true, want false", k)
+		}
+	}
+	if err := ValidateEvent(Event{Kind: Outage}); err == nil {
+		t.Error("outage without servers validated")
+	}
+	if err := ValidateEvent(Event{Kind: Kind("bogus")}); err == nil {
+		t.Error("unknown kind validated")
+	}
+	if err := ValidateEvent(Event{Kind: Price, DurationHours: 2, PriceMult: 3}); err != nil {
+		t.Errorf("valid price event rejected: %v", err)
+	}
+}

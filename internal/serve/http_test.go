@@ -1,0 +1,260 @@
+package serve
+
+import (
+	"bufio"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"dynamollm/internal/core"
+)
+
+func testHandler(t *testing.T, f core.Fidelity) (*Handler, *fakeClock) {
+	t.Helper()
+	s, clock := testSession(t, f, testTrace(10, 5), false, 60)
+	t.Cleanup(func() { s.Close() })
+	return NewHandler(s, 10*time.Second), clock
+}
+
+func do(h http.Handler, method, target, body string, header ...string) *httptest.ResponseRecorder {
+	req := httptest.NewRequest(method, target, strings.NewReader(body))
+	for i := 0; i+1 < len(header); i += 2 {
+		req.Header.Set(header[i], header[i+1])
+	}
+	w := httptest.NewRecorder()
+	h.ServeHTTP(w, req)
+	return w
+}
+
+// TestHTTPRequestValidation: malformed JSON and non-positive token counts
+// are rejected with 400 before touching the simulation.
+func TestHTTPRequestValidation(t *testing.T) {
+	h, _ := testHandler(t, core.FidelityFluid)
+	cases := []struct {
+		name, body string
+	}{
+		{"malformed", `{"input_tokens": 12`},
+		{"unknown field", `{"input_tokens":12,"output_tokens":9,"bogus":1}`},
+		{"zero input", `{"input_tokens":0,"output_tokens":9}`},
+		{"negative output", `{"input_tokens":12,"output_tokens":-3}`},
+		{"missing fields", `{}`},
+		{"input over cap", `{"input_tokens":100000,"output_tokens":9}`},
+		{"output over cap", `{"input_tokens":12,"output_tokens":1000000000}`},
+	}
+	for _, tc := range cases {
+		if w := do(h, "POST", "/request", tc.body); w.Code != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400 (body %q)", tc.name, w.Code, w.Body.String())
+		}
+	}
+}
+
+// TestHTTPConfig pins the /config document: system, fidelity, knobs.
+func TestHTTPConfig(t *testing.T) {
+	h, _ := testHandler(t, core.FidelityEvent)
+	w := do(h, "GET", "/config", "")
+	if w.Code != http.StatusOK {
+		t.Fatalf("status %d", w.Code)
+	}
+	var cfg ConfigInfo
+	if err := json.Unmarshal(w.Body.Bytes(), &cfg); err != nil {
+		t.Fatal(err)
+	}
+	if cfg.System != "singlepool" || cfg.Fidelity != "event" {
+		t.Errorf("system/fidelity = %q/%q", cfg.System, cfg.Fidelity)
+	}
+	if cfg.Model != "llama2-70b" || cfg.Servers != 12 || cfg.NumPools != 1 {
+		t.Errorf("defaults not resolved: %+v", cfg)
+	}
+	if cfg.Speed != 60 || cfg.TraceRequests != 10 {
+		t.Errorf("speed/trace = %v/%d", cfg.Speed, cfg.TraceRequests)
+	}
+}
+
+// TestHTTPInjectVisibleInStats: a fire-and-forget injection shows up in a
+// subsequent /stats once its virtual arrival has been served.
+func TestHTTPInjectVisibleInStats(t *testing.T) {
+	h, clock := testHandler(t, core.FidelityFluid)
+	clock.advance(10 * time.Second) // past the 10-entry base trace (50 virtual s)
+	if w := do(h, "GET", "/stats", ""); w.Code != http.StatusOK {
+		t.Fatalf("stats: %d", w.Code)
+	}
+	w := do(h, "POST", "/request?wait=0", `{"input_tokens":512,"output_tokens":64}`)
+	if w.Code != http.StatusOK {
+		t.Fatalf("inject: %d %s", w.Code, w.Body.String())
+	}
+	var acc struct {
+		Tag   uint64  `json:"tag"`
+		At    float64 `json:"accepted_at_virtual_s"`
+		Class string  `json:"class"`
+	}
+	if err := json.Unmarshal(w.Body.Bytes(), &acc); err != nil {
+		t.Fatal(err)
+	}
+	if acc.Tag == 0 || acc.Class != "MS" || acc.At != 600 {
+		t.Errorf("accepted = %+v, want tag>0 class MS at 600", acc)
+	}
+
+	clock.advance(time.Second)
+	var st Stats
+	if err := json.Unmarshal(do(h, "GET", "/stats", "").Body.Bytes(), &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Requests != 11 { // 10 base + 1 injected
+		t.Errorf("stats requests = %d, want 11", st.Requests)
+	}
+}
+
+// TestHTTPBlockingCompletion: the default POST /request blocks until the
+// request completes in virtual time and returns its TTFT/TBT.
+func TestHTTPBlockingCompletion(t *testing.T) {
+	s, clock := testSession(t, core.FidelityEvent, nil, false, 60)
+	t.Cleanup(func() { s.Close() })
+	h := NewHandler(s, 10*time.Second)
+	srv := httptest.NewServer(h)
+	defer srv.Close()
+
+	// Drive the fake clock while the request blocks.
+	stop := make(chan struct{})
+	defer close(stop)
+	go func() {
+		for {
+			select {
+			case <-stop:
+				return
+			case <-time.After(time.Millisecond):
+				clock.advance(100 * time.Millisecond)
+				s.Advance()
+			}
+		}
+	}()
+
+	resp, err := http.Post(srv.URL+"/request", "application/json",
+		strings.NewReader(`{"input_tokens":128,"output_tokens":16}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var done Completion
+	if err := json.NewDecoder(resp.Body).Decode(&done); err != nil {
+		t.Fatal(err)
+	}
+	if done.Squashed || done.TTFT <= 0 || done.ClassName != "SS" {
+		t.Errorf("completion %+v, want served SS with TTFT > 0", done)
+	}
+}
+
+// TestHTTPSSE: with Accept: text/event-stream the handler streams
+// accepted, per-token, and done events.
+func TestHTTPSSE(t *testing.T) {
+	s, clock := testSession(t, core.FidelityEvent, nil, false, 60)
+	t.Cleanup(func() { s.Close() })
+	h := NewHandler(s, 10*time.Second)
+	srv := httptest.NewServer(h)
+	defer srv.Close()
+
+	stop := make(chan struct{})
+	defer close(stop)
+	go func() {
+		for {
+			select {
+			case <-stop:
+				return
+			case <-time.After(time.Millisecond):
+				clock.advance(100 * time.Millisecond)
+				s.Advance()
+			}
+		}
+	}()
+
+	req, _ := http.NewRequest("POST", srv.URL+"/request",
+		strings.NewReader(`{"input_tokens":128,"output_tokens":8}`))
+	req.Header.Set("Accept", "text/event-stream")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("content type %q", ct)
+	}
+	counts := map[string]int{}
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		line := sc.Text()
+		if strings.HasPrefix(line, "event: ") {
+			counts[strings.TrimPrefix(line, "event: ")]++
+			if line == "event: done" {
+				break
+			}
+		}
+	}
+	if counts["accepted"] != 1 || counts["done"] != 1 {
+		t.Errorf("event counts %v, want one accepted and one done", counts)
+	}
+	if counts["token"] == 0 {
+		t.Errorf("no token events streamed under event fidelity (counts %v)", counts)
+	}
+}
+
+// TestHTTPMetrics: the Prometheus exposition carries the headline
+// counters and, under event fidelity, per-class TTFT/TBT percentiles.
+func TestHTTPMetrics(t *testing.T) {
+	h, clock := testHandler(t, core.FidelityEvent)
+	clock.advance(10 * time.Second) // serve the whole base trace
+	w := do(h, "GET", "/metrics", "")
+	if w.Code != http.StatusOK {
+		t.Fatalf("status %d", w.Code)
+	}
+	body := w.Body.String()
+	for _, want := range []string{
+		"dynamollm_requests_total 10",
+		"dynamollm_virtual_seconds 600",
+		`dynamollm_ttft_seconds{quantile="0.99"}`,
+		`dynamollm_class_ttft_seconds{class="SS",quantile="0.99"}`,
+		`dynamollm_class_tbt_seconds{class="SS",quantile="0.5"}`,
+		"dynamollm_energy_joules_total",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("metrics missing %q", want)
+		}
+	}
+}
+
+// TestHTTPEvents: live scenario events are validated and applied; trace
+// kinds and malformed payloads get 400.
+func TestHTTPEvents(t *testing.T) {
+	h, clock := testHandler(t, core.FidelityFluid)
+	clock.advance(time.Second)
+
+	// Single-object and array forms both work.
+	if w := do(h, "POST", "/events", `{"kind":"outage","servers":2}`); w.Code != http.StatusOK {
+		t.Fatalf("outage: %d %s", w.Code, w.Body.String())
+	}
+	if w := do(h, "POST", "/events", `[{"kind":"price","price_mult":4,"duration_hours":1}]`); w.Code != http.StatusOK {
+		t.Fatalf("price array: %d %s", w.Code, w.Body.String())
+	}
+	clock.advance(time.Second)
+	var st Stats
+	if err := json.Unmarshal(do(h, "GET", "/stats", "").Body.Bytes(), &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Outages < 2 || st.PriceMult != 4 {
+		t.Errorf("events not applied: outages %d price %v", st.Outages, st.PriceMult)
+	}
+
+	for name, body := range map[string]string{
+		"trace-level kind": `{"kind":"spike","rate_mult":3,"duration_hours":1}`,
+		"unknown kind":     `{"kind":"meteor"}`,
+		"missing servers":  `{"kind":"outage"}`,
+		"malformed":        `{"kind":`,
+		"unknown field":    `{"kind":"outage","servers":1,"bogus":true}`,
+		"empty array":      `[]`,
+	} {
+		if w := do(h, "POST", "/events", body); w.Code != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400", name, w.Code)
+		}
+	}
+}

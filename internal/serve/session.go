@@ -1,0 +1,677 @@
+// Package serve is the live serving control plane (§IV-E made long-lived):
+// a Session wraps the cluster simulation in an incrementally advanced,
+// wall-clock-paced loop — virtual time tracks the wall clock at a fixed
+// speed, arrivals are injected at their true virtual instants, and every
+// query advances the simulation only by the elapsed delta, never by
+// re-simulating history. On top of the Session, NewHandler exposes the
+// HTTP API cmd/dynamoserve serves: request injection with per-request
+// completions (optionally streamed as SSE token events), live scenario
+// runtime events, JSON stats, and Prometheus metrics.
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"time"
+
+	"dynamollm/internal/core"
+	"dynamollm/internal/profile"
+	"dynamollm/internal/scenario"
+	"dynamollm/internal/simclock"
+	"dynamollm/internal/trace"
+	"dynamollm/internal/workload"
+)
+
+// Config parameterizes a live session.
+type Config struct {
+	// Name labels the configuration (/config, log lines); typically the
+	// core system preset name.
+	Name string
+	// Opts is the control system under test; Fidelity selects the
+	// instance backend (the live server defaults to event fidelity
+	// upstream, in cmd/dynamoserve). Opts.Observer is owned by the
+	// session; Opts.Hook, if set, still fires before injected events.
+	Opts core.Options
+	// Trace is the time-ordered base arrival trace (t = 0 is session
+	// start in virtual time).
+	Trace trace.Trace
+	// Speed is virtual seconds per wall second (default 60).
+	Speed float64
+	// Loop replays the base trace each time its horizon is reached, so
+	// background load never runs dry. When false the session reports
+	// horizon_reached instead and keeps serving injected traffic only.
+	Loop bool
+	// Repo caches model profiles (nil builds a private one).
+	Repo *profile.Repository
+	// WallClock is the time source (nil = time.Now); tests inject a fake.
+	WallClock func() time.Time
+	// Logf receives operational log lines (nil discards them).
+	Logf func(format string, args ...interface{})
+}
+
+// ErrClosed reports an injection into a session that has begun shutting
+// down — a transient condition (503), not a bad request.
+var ErrClosed = errors.New("serve: session closed")
+
+// TokenEvent is one streamed output token of an injected request.
+// Produced normally counts 1..OutputTokens, but restarts from 1 if the
+// serving instance is re-sharded or retired mid-flight: drained work
+// re-generates on the new placement (that is the simulated reality), so
+// clients must treat Produced as latest progress, not a cumulative count.
+type TokenEvent struct {
+	Produced int           `json:"produced"` // tokens produced so far (1-based)
+	At       simclock.Time `json:"at_virtual_s"`
+}
+
+// Completion is the terminal state of an injected request.
+type Completion struct {
+	Tag        uint64         `json:"tag"`
+	Class      workload.Class `json:"-"`
+	ClassName  string         `json:"class"`
+	AcceptedAt simclock.Time  `json:"accepted_at_virtual_s"`
+	FinishedAt simclock.Time  `json:"finished_at_virtual_s"`
+	TTFT       float64        `json:"ttft_s"`
+	TBT        float64        `json:"tbt_s"`
+	SLOMet     bool           `json:"slo_met"`
+	Squashed   bool           `json:"squashed"`
+}
+
+// Accepted identifies an injected request.
+type Accepted struct {
+	Tag   uint64
+	At    simclock.Time
+	Class workload.Class
+}
+
+// Waiter delivers one injected request's lifecycle to its client. Tokens
+// is best-effort (token events are dropped rather than ever stalling the
+// simulation behind a slow reader); Done always delivers exactly one
+// Completion and is buffered, so an abandoned waiter leaks nothing.
+type Waiter struct {
+	Tag    uint64
+	Tokens <-chan TokenEvent
+	Done   <-chan Completion
+
+	tokens chan TokenEvent
+	done   chan Completion
+}
+
+// Session is a live, wall-clock-paced simulation. All state is guarded by
+// mu; observer callbacks fire inside advances (under mu) and resolve
+// waiters without re-entering the simulation.
+type Session struct {
+	mu    sync.Mutex
+	cfg   Config
+	live  *core.Live
+	hook  *liveHook
+	pacer *simclock.Pacer
+	logf  func(string, ...interface{})
+
+	base           trace.Trace
+	baseHorizon    simclock.Time
+	loops          int
+	horizonReached bool
+
+	nextTag        uint64
+	waiters        map[uint64]*Waiter
+	inflight       int
+	lastInjectedAt simclock.Time
+
+	closed    bool
+	stop      chan struct{}
+	closeOnce sync.Once
+	wg        sync.WaitGroup
+}
+
+// New builds a session and anchors its pacer at the current wall instant.
+// Call Start to run the background pacer, or drive it manually with
+// Advance (tests do).
+func New(cfg Config) *Session {
+	if cfg.Speed <= 0 {
+		cfg.Speed = 60
+	}
+	logf := cfg.Logf
+	if logf == nil {
+		logf = func(string, ...interface{}) {}
+	}
+	s := &Session{
+		cfg:     cfg,
+		hook:    &liveHook{static: cfg.Opts.Hook},
+		logf:    logf,
+		base:    cfg.Trace,
+		waiters: map[uint64]*Waiter{},
+		stop:    make(chan struct{}),
+	}
+	s.baseHorizon = traceEnd(cfg.Trace)
+	opts := cfg.Opts
+	opts.Hook = s.hook
+	opts.Observer = (*sessionObserver)(s)
+	if cfg.Loop && s.baseHorizon > 0 {
+		// The base window replays forever: wrap the predictor's warm
+		// curve at the exact replay period so the expected-load signal
+		// stays in phase with the traffic actually served. With no
+		// caller-supplied curve, warm on the base trace's own template —
+		// the unwrapped core fallback is zero past the trace horizon, so
+		// a looping cluster would otherwise plan against zero load after
+		// the first replay.
+		inner := opts.WarmLoad
+		if inner == nil {
+			inner = core.TraceTemplate(cfg.Trace, opts.ClusterEpoch)
+		}
+		period := float64(s.baseHorizon)
+		opts.WarmLoad = func(t simclock.Time, c workload.Class) float64 {
+			return inner(simclock.Time(math.Mod(float64(t), period)), c)
+		}
+	}
+	s.live = core.NewLive(cfg.Trace, opts, cfg.Repo)
+	s.pacer = simclock.NewPacer(cfg.Speed, cfg.WallClock)
+	return s
+}
+
+func traceEnd(tr trace.Trace) simclock.Time {
+	if len(tr) == 0 {
+		return 0
+	}
+	return tr[len(tr)-1].At
+}
+
+// Start launches the background pacer goroutine, which keeps the
+// simulation caught up with the wall clock so completions are delivered
+// even while no client is querying. The pacing interval is half a tick of
+// wall time, clamped to sane bounds.
+func (s *Session) Start() {
+	interval := s.pacer.Wall(s.live.TickSeconds() / 2)
+	if interval < 5*time.Millisecond {
+		interval = 5 * time.Millisecond
+	}
+	if interval > 250*time.Millisecond {
+		interval = 250 * time.Millisecond
+	}
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-s.stop:
+				return
+			case <-t.C:
+				s.Advance()
+			}
+		}
+	}()
+}
+
+// Advance brings the simulation up to the current virtual time and
+// returns the number of ticks executed. Cost is proportional to the wall
+// time elapsed since the previous advance.
+func (s *Session) Advance() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.advanceLocked()
+}
+
+func (s *Session) advanceLocked() int {
+	if s.closed {
+		return 0
+	}
+	target := s.pacer.Now()
+	s.extendLocked(target)
+	return s.live.AdvanceTo(target)
+}
+
+// extendLocked keeps the base trace ahead of the pacer: with Loop set it
+// appends a time-shifted replay of the base window whenever the covered
+// horizon would otherwise fall within one window of the target; without
+// it, it flags (once) that the horizon has been reached.
+func (s *Session) extendLocked(target simclock.Time) {
+	if s.baseHorizon <= 0 || len(s.base) == 0 {
+		return
+	}
+	if !s.cfg.Loop {
+		if !s.horizonReached && target > s.baseHorizon {
+			s.horizonReached = true
+			s.logf("serve: base trace horizon (%.0f virtual s) reached; serving injected traffic only", float64(s.baseHorizon))
+		}
+		return
+	}
+	// Replay the base window just before the tick that would outrun the
+	// covered horizon executes (one tick of lookahead).
+	lookahead := simclock.Time(s.live.TickSeconds())
+	for covered := simclock.Time(float64(s.loops+1)) * s.baseHorizon; covered < target+lookahead; covered += s.baseHorizon {
+		s.loops++
+		shifted := make(trace.Trace, len(s.base))
+		for i, e := range s.base {
+			e.At += covered
+			shifted[i] = e
+		}
+		if err := s.live.Append(shifted); err != nil {
+			s.logf("serve: trace replay failed: %v", err)
+			return
+		}
+		s.logf("serve: base trace horizon reached; replaying base window (loop %d, virtual t=%.0fs..%.0fs)",
+			s.loops, float64(covered), float64(covered+s.baseHorizon))
+	}
+}
+
+// Inject enqueues one live request at the current virtual instant — the
+// virtual clock is read at receipt, after catching the simulation up, so
+// the arrival stamp can never be stale. Token counts are bounded by the
+// Table IV maxima (a larger output would make the drain-on-shutdown
+// contract unmeetable: the engines must produce every token in virtual
+// time). With wait set, the returned Waiter delivers the request's token
+// events and completion.
+func (s *Session) Inject(inTokens, outTokens int, wait bool) (Accepted, *Waiter, error) {
+	if inTokens <= 0 || inTokens > workload.InputLongMax {
+		return Accepted{}, nil, fmt.Errorf("serve: input_tokens must be in [1, %d]", workload.InputLongMax)
+	}
+	if outTokens <= 0 || outTokens > workload.OutputLongMax {
+		return Accepted{}, nil, fmt.Errorf("serve: output_tokens must be in [1, %d]", workload.OutputLongMax)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return Accepted{}, nil, ErrClosed
+	}
+	s.advanceLocked()
+	s.nextTag++
+	tag := s.nextTag
+	at, err := s.live.Inject(trace.Entry{
+		At:           s.pacer.Now(),
+		Tag:          tag,
+		InputTokens:  inTokens,
+		OutputTokens: outTokens,
+	})
+	if err != nil {
+		return Accepted{}, nil, err
+	}
+	if at > s.lastInjectedAt {
+		s.lastInjectedAt = at
+	}
+	acc := Accepted{Tag: tag, At: at, Class: workload.Classify(inTokens, outTokens)}
+	var w *Waiter
+	if wait {
+		w = &Waiter{
+			Tag:    tag,
+			tokens: make(chan TokenEvent, 64),
+			done:   make(chan Completion, 1),
+		}
+		w.Tokens, w.Done = w.tokens, w.done
+		s.waiters[tag] = w
+		s.inflight++
+	}
+	return acc, w, nil
+}
+
+// Abandon deregisters a waiter whose client has gone away (timeout,
+// disconnect). Safe to call after the completion was already delivered.
+func (s *Session) Abandon(tag uint64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.waiters[tag]; ok {
+		delete(s.waiters, tag)
+		s.inflight--
+	}
+}
+
+// InjectEvents schedules scenario runtime events relative to the current
+// virtual time (an event's AtHours is "hours from now"). Only runtime
+// kinds are accepted; they are validated, then outages and recoveries are
+// compiled through the scenario timeline machinery into the session's
+// tick-hook agenda, while price and SLO windows join the session's
+// window sets — evaluated per tick across every window posted so far, so
+// windows from separate calls compose exactly like windows within one
+// scenario (most recently started open window wins; a window ending can
+// never clobber another still running). Once any live price (or SLO)
+// window has been posted, the session owns that multiplier; a static
+// scenario hook's same-kind windows are overridden from then on. Returns
+// the virtual time the timeline is anchored at.
+func (s *Session) InjectEvents(events []scenario.Event) (simclock.Time, error) {
+	for i, e := range events {
+		if !e.Kind.Runtime() {
+			return 0, fmt.Errorf("serve: event %d (%s): only runtime events (outage, recovery, price, slo) can be injected live", i, e.Kind)
+		}
+		if e.AtHours < 0 {
+			return 0, fmt.Errorf("serve: event %d (%s): at_hours must be >= 0 (hours from now)", i, e.Kind)
+		}
+		if err := scenario.ValidateEvent(e); err != nil {
+			return 0, fmt.Errorf("serve: event %d (%s): %v", i, e.Kind, err)
+		}
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return 0, ErrClosed
+	}
+	s.advanceLocked()
+	now := s.pacer.Now()
+	var instant []scenario.Event
+	for _, e := range events {
+		from := now + simclock.Time(e.AtHours*3600)
+		to := from + simclock.Time(e.DurationHours*3600)
+		switch e.Kind {
+		case scenario.Price:
+			s.hook.priceWins = append(s.hook.priceWins, valueWindow{from: from, to: to, val: e.PriceMult})
+		case scenario.SLO:
+			s.hook.sloWins = append(s.hook.sloWins, valueWindow{from: from, to: to, val: e.SLOFactor})
+		default:
+			instant = append(instant, e)
+		}
+		s.logf("serve: scheduled %s event at virtual t=%.0fs", e.Kind, float64(from))
+	}
+	s.hook.add(scenario.RuntimeTimeline(instant, now))
+	return now, nil
+}
+
+// Close stops the pacer, advances through every pending arrival, drains
+// in-flight work through the backend (the event engines run to
+// completion), resolves any leftover waiters as squashed, and returns the
+// final result plus the number of injected requests that were still in
+// flight when shutdown began.
+func (s *Session) Close() (*core.Result, int) {
+	// Stop the pacer first, without holding mu (it may be mid-advance).
+	// closeOnce makes concurrent Close calls safe: one closes the stop
+	// channel, the rest wait on the mutex and find the session closed.
+	s.closeOnce.Do(func() { close(s.stop) })
+	s.wg.Wait()
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return s.live.Finish(), 0
+	}
+	drained := s.inflight
+	// Serve everything already accepted: advance past the last injected
+	// arrival so no in-flight request is silently dropped, then drain.
+	target := s.pacer.Now()
+	if pt := s.lastInjectedAt + simclock.Time(s.live.TickSeconds()); pt > target {
+		target = pt
+	}
+	s.live.AdvanceTo(target)
+	s.closed = true
+	res := s.live.Finish()
+	// Anything still waiting can never complete now.
+	for tag, w := range s.waiters {
+		delete(s.waiters, tag)
+		s.inflight--
+		close(w.tokens)
+		w.done <- Completion{Tag: tag, Squashed: true, TTFT: -1, TBT: -1, FinishedAt: s.live.Boundary()}
+	}
+	if drained > 0 {
+		s.logf("serve: drained %d in-flight request(s) on shutdown", drained)
+	}
+	return res, drained
+}
+
+// --- Observer ---------------------------------------------------------------
+
+// sessionObserver adapts Session to core.RequestObserver. Callbacks fire
+// while the session lock is already held (every advance and the closing
+// drain happen under mu), so waiter bookkeeping needs no extra locking.
+type sessionObserver Session
+
+func (o *sessionObserver) RequestToken(req *workload.Request, produced int, now simclock.Time) {
+	s := (*Session)(o)
+	if w := s.waiters[req.Tag]; w != nil {
+		select {
+		case w.tokens <- TokenEvent{Produced: produced, At: now}:
+		default: // slow reader: drop rather than stall the simulation
+		}
+	}
+}
+
+func (o *sessionObserver) RequestDone(req *workload.Request, ttft, tbt float64, met bool) {
+	s := (*Session)(o)
+	if req.Tag == 0 {
+		return
+	}
+	w := s.waiters[req.Tag]
+	if w == nil {
+		return
+	}
+	delete(s.waiters, req.Tag)
+	s.inflight--
+	fin := req.Finish
+	if fin == 0 && ttft >= 0 {
+		// Fluid fidelity has no engine-stamped finish instant: model it
+		// as first token plus the full decode phase at the sampled TBT.
+		d := ttft
+		if tbt > 0 && req.OutputTokens > 1 {
+			d += tbt * float64(req.OutputTokens-1)
+		}
+		fin = req.Arrival + simclock.Time(d)
+	}
+	cls := req.Class()
+	// Close tokens first: a streaming reader that receives the completion
+	// can then drain the remaining buffered token events and terminate.
+	close(w.tokens)
+	w.done <- Completion{
+		Tag:        req.Tag,
+		Class:      cls,
+		ClassName:  cls.String(),
+		AcceptedAt: req.Arrival,
+		FinishedAt: fin,
+		TTFT:       ttft,
+		TBT:        tbt,
+		SLOMet:     met,
+		Squashed:   req.Squashed,
+	}
+}
+
+// --- Live tick-hook agenda ---------------------------------------------------
+
+// liveHook is the session's mutable core.TickHook: a time-sorted agenda
+// of instantaneous runtime events (outages, recoveries) plus the live
+// price/SLO window sets, applied while the session runs. All access
+// happens under the session lock (OnTick fires inside advances, mutation
+// inside InjectEvents), so it needs no locking of its own. static, when
+// set, is the caller-provided hook fired before the live state each tick.
+type liveHook struct {
+	static core.TickHook
+	agenda []core.TimelineEvent
+	head   int
+
+	// priceWins/sloWins accumulate every live-posted window. The value
+	// in force is recomputed each tick across all of them (most recently
+	// started open window wins, 1 when none is), so windows posted in
+	// separate /events calls can never clobber each other the way
+	// independently compiled boundary events would.
+	priceWins []valueWindow
+	sloWins   []valueWindow
+}
+
+// valueWindow is a half-open [from, to) interval during which a price or
+// SLO multiplier holds.
+type valueWindow struct {
+	from, to simclock.Time
+	val      float64
+}
+
+func (h *liveHook) OnTick(now simclock.Time, ctl *core.Controls) {
+	if h.static != nil {
+		h.static.OnTick(now, ctl)
+	}
+	for h.head < len(h.agenda) && h.agenda[h.head].At <= now {
+		h.agenda[h.head].Do(ctl)
+		h.agenda[h.head] = core.TimelineEvent{}
+		h.head++
+	}
+	if h.head == len(h.agenda) {
+		h.agenda = h.agenda[:0]
+		h.head = 0
+	}
+	if len(h.priceWins) > 0 {
+		ctl.SetPriceMult(activeValue(h.priceWins, now))
+		h.priceWins = pruneExpired(h.priceWins, now)
+	}
+	if len(h.sloWins) > 0 {
+		ctl.SetSLOFactor(activeValue(h.sloWins, now))
+		h.sloWins = pruneExpired(h.sloWins, now)
+	}
+}
+
+// activeValue returns the multiplier in force at t: the value of the most
+// recently started window containing t (ties broken by posting order,
+// later wins), or 1 when no window is open.
+func activeValue(ws []valueWindow, t simclock.Time) float64 {
+	v := 1.0
+	started := simclock.Time(math.Inf(-1))
+	for _, w := range ws {
+		if w.from <= t && t < w.to && w.from >= started {
+			started, v = w.from, w.val
+		}
+	}
+	return v
+}
+
+// pruneExpired drops windows that ended at or before now. The value they
+// stopped contributing was already applied this tick (activeValue runs
+// before pruning), so an expiring last window still resets to 1.
+func pruneExpired(ws []valueWindow, now simclock.Time) []valueWindow {
+	live := ws[:0]
+	for _, w := range ws {
+		if w.to > now {
+			live = append(live, w)
+		}
+	}
+	return live
+}
+
+// add merges events (already time-sorted among themselves) into the
+// pending agenda, keeping it sorted by firing time.
+func (h *liveHook) add(events []core.TimelineEvent) {
+	h.agenda = append(h.agenda, events...)
+	pending := h.agenda[h.head:]
+	sort.SliceStable(pending, func(i, j int) bool { return pending[i].At < pending[j].At })
+}
+
+// --- Snapshots ---------------------------------------------------------------
+
+// Stats is the /stats JSON document: running aggregates up to the current
+// virtual instant.
+type Stats struct {
+	VirtualSeconds float64 `json:"virtual_seconds"`
+	Fidelity       string  `json:"fidelity"`
+	Requests       int     `json:"requests"`
+	Squashed       int     `json:"squashed"`
+	Completed      int     `json:"completed"`
+	Inflight       int     `json:"inflight"`
+	EnergyKWh      float64 `json:"energy_kwh"`
+	EnergyCostUSD  float64 `json:"energy_cost_usd"`
+	AvgServers     float64 `json:"avg_servers"`
+	ActiveServers  int     `json:"active_servers"`
+	SLOAttainment  float64 `json:"slo_attainment"`
+	TTFTP50        float64 `json:"ttft_p50_s"`
+	TTFTP99        float64 `json:"ttft_p99_s"`
+	TBTP50         float64 `json:"tbt_p50_s"`
+	TBTP99         float64 `json:"tbt_p99_s"`
+	Reshards       int     `json:"reshards"`
+	ScaleOuts      int     `json:"scale_outs"`
+	ScaleIns       int     `json:"scale_ins"`
+	Emergencies    int     `json:"emergencies"`
+	Outages        int     `json:"outages"`
+	Recoveries     int     `json:"recoveries"`
+	PriceMult      float64 `json:"price_mult"`
+	SLOFactor      float64 `json:"slo_factor"`
+	TraceLoops     int     `json:"trace_loops"`
+	HorizonReached bool    `json:"horizon_reached"`
+	SimLagSeconds  float64 `json:"sim_lag_virtual_s"`
+	PendingArrival int     `json:"pending_arrivals"`
+}
+
+// Stats advances the session to the present and snapshots it.
+func (s *Session) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.advanceLocked()
+	return s.statsLocked()
+}
+
+func (s *Session) statsLocked() Stats {
+	res := s.live.Result()
+	boundary := float64(s.live.Boundary())
+	st := Stats{
+		VirtualSeconds: boundary,
+		Fidelity:       s.live.Options().Fidelity.String(),
+		Requests:       res.Requests,
+		Squashed:       res.Squashed,
+		Completed:      res.Completed,
+		Inflight:       s.inflight,
+		EnergyKWh:      res.EnergyKWh(),
+		EnergyCostUSD:  res.EnergyCostUSD,
+		ActiveServers:  s.live.ActiveServers(),
+		SLOAttainment:  res.SLOAttainment(),
+		TTFTP50:        res.TTFT.Percentile(50),
+		TTFTP99:        res.TTFT.Percentile(99),
+		TBTP50:         res.TBT.Percentile(50),
+		TBTP99:         res.TBT.Percentile(99),
+		Reshards:       res.Reshards,
+		ScaleOuts:      res.ScaleOuts,
+		ScaleIns:       res.ScaleIns,
+		Emergencies:    res.Emergencies,
+		Outages:        res.Outages,
+		Recoveries:     res.Recoveries,
+		PriceMult:      s.live.PriceMult(),
+		SLOFactor:      s.live.SLOFactor(),
+		TraceLoops:     s.loops,
+		HorizonReached: s.horizonReached,
+		PendingArrival: s.live.PendingArrivals(),
+	}
+	if boundary > 0 {
+		st.AvgServers = res.GPUSeconds / 8 / boundary
+	}
+	if lag := float64(s.pacer.Now()) - boundary; lag > 0 {
+		st.SimLagSeconds = lag
+	}
+	return st
+}
+
+// ConfigInfo is the /config JSON document.
+type ConfigInfo struct {
+	Systems           []string `json:"systems"`
+	System            string   `json:"system"`
+	Fidelity          string   `json:"fidelity"`
+	Fidelities        []string `json:"fidelities"`
+	Model             string   `json:"model"`
+	NumPools          int      `json:"num_pools"`
+	ScaleInstances    bool     `json:"scale_instances"`
+	ScaleSharding     bool     `json:"scale_sharding"`
+	ScaleFrequency    bool     `json:"scale_frequency"`
+	ReducedOverheads  bool     `json:"reduced_overheads"`
+	Servers           int      `json:"servers"`
+	PredictorAccuracy float64  `json:"predictor_accuracy"`
+	Speed             float64  `json:"speed"`
+	Loop              bool     `json:"loop"`
+	TraceRequests     int      `json:"trace_requests"`
+}
+
+// Config describes the session's active configuration, with every core
+// default resolved.
+func (s *Session) Config() ConfigInfo {
+	opts := s.live.Options()
+	modelName := ""
+	if opts.Model != nil {
+		modelName = opts.Model.Name
+	}
+	return ConfigInfo{
+		Systems:           core.SystemNames,
+		System:            s.cfg.Name,
+		Fidelity:          opts.Fidelity.String(),
+		Fidelities:        core.FidelityNames,
+		Model:             modelName,
+		NumPools:          opts.NumPools,
+		ScaleInstances:    opts.ScaleInstances,
+		ScaleSharding:     opts.ScaleSharding,
+		ScaleFrequency:    opts.ScaleFrequency,
+		ReducedOverheads:  opts.ReducedOverheads,
+		Servers:           opts.Servers,
+		PredictorAccuracy: opts.PredictorAccuracy,
+		Speed:             s.cfg.Speed,
+		Loop:              s.cfg.Loop,
+		TraceRequests:     len(s.base),
+	}
+}

@@ -193,6 +193,47 @@ func (c *Clock) peek() *event {
 	return nil
 }
 
+// --- Wall-clock pacing ------------------------------------------------------
+
+// Pacer maps monotonic wall-clock time onto virtual time at a fixed speed
+// (virtual seconds per wall second), anchored at the instant it was
+// created. The live serving session uses one to decide how far the
+// simulation may advance: virtual time is derived from the wall clock on
+// every query, never accumulated, so it cannot drift or go stale between
+// queries.
+type Pacer struct {
+	start time.Time
+	speed float64
+	now   func() time.Time
+}
+
+// NewPacer anchors a pacer at now() running at the given speed. A nil now
+// uses time.Now; tests inject a fake clock. Non-positive speeds default
+// to 1.
+func NewPacer(speed float64, now func() time.Time) *Pacer {
+	if now == nil {
+		now = time.Now
+	}
+	if speed <= 0 {
+		speed = 1
+	}
+	return &Pacer{start: now(), speed: speed, now: now}
+}
+
+// Now returns the current virtual time: elapsed wall time times speed.
+func (p *Pacer) Now() Time {
+	return Time(p.now().Sub(p.start).Seconds() * p.speed)
+}
+
+// Speed returns the pacer's virtual-seconds-per-wall-second factor.
+func (p *Pacer) Speed() float64 { return p.speed }
+
+// Wall converts a virtual duration to the wall duration it spans at the
+// pacer's speed.
+func (p *Pacer) Wall(d Duration) time.Duration {
+	return time.Duration(d / p.speed * float64(time.Second))
+}
+
 // --- Deterministic random streams -----------------------------------------
 
 // RNG is a small, fast, deterministic pseudo-random generator

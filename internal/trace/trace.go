@@ -34,6 +34,13 @@ type Entry struct {
 	At           simclock.Time
 	InputTokens  int
 	OutputTokens int
+
+	// Tag is an opaque caller identifier propagated onto the
+	// workload.Request the simulator builds from this entry. The live
+	// serving session uses it to match injected requests with their
+	// completions; generated and CSV-loaded entries leave it zero and it
+	// is not serialized.
+	Tag uint64
 }
 
 // Class returns the request class of the entry.

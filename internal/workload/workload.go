@@ -169,6 +169,11 @@ type Request struct {
 	InputTokens  int
 	OutputTokens int // true output length (unknown to the system on arrival)
 
+	// Tag is the opaque caller identifier carried over from the trace
+	// entry (trace.Entry.Tag); non-zero only for live-injected requests,
+	// which the serving session matches to completion waiters by it.
+	Tag uint64
+
 	// PredictedClass is the router's classification from the known input
 	// length and the *predicted* output bucket (§IV-D).
 	PredictedClass Class
