@@ -6,7 +6,25 @@ GO ?= go
 # Sequence number for committed benchmark baselines (BENCH_<N>.json).
 N ?= dev
 
-.PHONY: all build test lint docs-check bench bench-json profile smoke scenario-smoke event-smoke fidelity-smoke serve-smoke
+# Benchmark-run knobs for bench-json: which benchmarks (regex), how long
+# each (1x = compile-and-run smoke; the regression gate uses a time-based
+# budget so light benchmarks average over many iterations), and how many
+# whole-suite repeats (benchcmp gates on the per-benchmark minimum, so
+# COUNT>1 suppresses scheduler/GC noise).
+BENCH ?= .
+BENCHTIME ?= 1x
+COUNT ?= 1
+
+# Benchmarks the regression gate times: the steady-state engine, tick-loop,
+# fleet-stepping, and snapshot paths. The macro table/figure benchmarks
+# stay in bench/bench-json as one-iteration smoke — they re-run whole
+# experiment fixtures per iteration and carry too much noise to gate at 10%.
+GATEBENCH ?= TickLoop|EventFleet|LiveSnapshot|LiveAdvanceTick|EngineSoak
+
+# Committed baseline the perf-regression gate compares against.
+BASE ?= 6
+
+.PHONY: all build test lint docs-check bench bench-json bench-gate profile smoke scenario-smoke event-smoke fidelity-smoke serve-smoke
 
 all: build lint docs-check test
 
@@ -27,14 +45,25 @@ lint:
 bench:
 	$(GO) test -bench=. -benchtime=1x -run='^$$' ./...
 
-# Benchmark trajectory: run every benchmark once with -benchmem and emit
+# Benchmark trajectory: run every benchmark with -benchmem and emit
 # BENCH_$(N).json (ns/op, B/op, allocs/op, custom metrics per benchmark).
-# CI archives the result; perf PRs commit it as the next baseline.
+# CI archives the result; perf PRs commit it as the next baseline. The
+# scratch file is removed on every path, including failures.
 bench-json:
-	$(GO) test -bench=. -benchtime=1x -benchmem -run='^$$' ./... > bench.out
-	$(GO) run ./cmd/benchjson -out BENCH_$(N).json < bench.out
+	$(GO) test -bench='$(BENCH)' -benchtime=$(BENCHTIME) -count=$(COUNT) -benchmem -run='^$$' ./... > bench.out || { rm -f bench.out; exit 1; }
+	$(GO) run ./cmd/benchjson -out BENCH_$(N).json < bench.out || { rm -f bench.out; exit 1; }
 	@rm -f bench.out
 	@echo "wrote BENCH_$(N).json"
+
+# Perf-regression gate: a fresh best-of-3, 1s-per-benchmark run of the
+# $(GATEBENCH) set, compared against the committed BENCH_$(BASE).json
+# baseline. Fails on >10% ns/op slowdown (same-CPU runs only —
+# cross-machine deltas are warnings); allocs/op growth beyond 5% warns.
+# Perf PRs that move the needle on purpose re-baseline with:
+#   make bench-json N=<next> BENCH='$(GATEBENCH)' BENCHTIME=1s COUNT=3
+bench-gate:
+	$(MAKE) bench-json N=gate BENCH='$(GATEBENCH)' BENCHTIME=1s COUNT=3
+	$(GO) run ./cmd/benchcmp BENCH_$(BASE).json BENCH_gate.json
 
 # Flame-graph entry point: profile the six-system cluster hour through the
 # real CLI. Start future perf work here, not from a guess.

@@ -1,0 +1,187 @@
+// Command benchcmp is the CI perf-regression gate: it compares two
+// benchjson reports (the committed baseline vs a fresh run) and fails
+// when any benchmark got more than -max-slower percent slower in ns/op.
+//
+//	make bench-json N=gate BENCHTIME=2x
+//	benchcmp BENCH_6.json BENCH_gate.json
+//
+// Benchmarks are joined by package + name; -count=N repeats collapse to
+// their per-benchmark minimum before comparing, which is what makes a
+// 10% budget holdable on noisy shared runners. Allocations are part of
+// the contract too, but softer: allocs/op growth beyond -max-allocs percent
+// is reported as a warning, not a failure (alloc counts are exact, but
+// growth is often an accepted cost of a feature; timing regressions are
+// not). ns/op is only gated when both reports come from the same CPU
+// model — cross-machine wall-clock comparisons are noise, so those are
+// downgraded to warnings as well.
+//
+// Exit status: 0 clean or warnings only, 1 regression, 2 usage.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+)
+
+// Benchmark and Report mirror cmd/benchjson's output document.
+type Benchmark struct {
+	Pkg        string             `json:"pkg"`
+	Name       string             `json:"name"`
+	Iterations int64              `json:"iterations"`
+	NsPerOp    float64            `json:"ns_per_op,omitempty"`
+	BytesPerOp float64            `json:"bytes_per_op,omitempty"`
+	AllocsOp   float64            `json:"allocs_per_op,omitempty"`
+	Metrics    map[string]float64 `json:"metrics,omitempty"`
+}
+
+type Report struct {
+	Goos       string      `json:"goos,omitempty"`
+	Goarch     string      `json:"goarch,omitempty"`
+	CPU        string      `json:"cpu,omitempty"`
+	Benchmarks []Benchmark `json:"benchmarks"`
+}
+
+func main() {
+	maxSlower := flag.Float64("max-slower", 10, "fail when ns/op grows more than this percent")
+	maxAllocs := flag.Float64("max-allocs", 5, "warn when allocs/op grows more than this percent")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: benchcmp [flags] baseline.json current.json\n\nflags:\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() != 2 {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	base, err := load(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	cur, err := load(flag.Arg(1))
+	if err != nil {
+		fatal(err)
+	}
+
+	sameCPU := base.CPU != "" && base.CPU == cur.CPU
+	if !sameCPU {
+		fmt.Printf("note: baseline CPU %q != current CPU %q; ns/op deltas are warnings, not failures\n",
+			base.CPU, cur.CPU)
+	}
+
+	baseByKey := collapse(base.Benchmarks)
+
+	curByKey := collapse(cur.Benchmarks)
+	keys := make([]string, 0, len(curByKey))
+	for key := range curByKey {
+		keys = append(keys, key)
+	}
+	sort.Strings(keys)
+
+	regressions, warnings := 0, 0
+	for _, key := range keys {
+		c := curByKey[key]
+		b, ok := baseByKey[key]
+		if !ok {
+			fmt.Printf("new:     %-60s %12.0f ns/op (no baseline)\n", key, c.NsPerOp)
+			continue
+		}
+		if b.NsPerOp > 0 && c.NsPerOp > 0 {
+			delta := pct(b.NsPerOp, c.NsPerOp)
+			switch {
+			case delta > *maxSlower && sameCPU:
+				regressions++
+				fmt.Printf("SLOWER:  %-60s %12.0f -> %12.0f ns/op  (%+.1f%% > %.0f%% budget)\n",
+					key, b.NsPerOp, c.NsPerOp, delta, *maxSlower)
+			case delta > *maxSlower:
+				warnings++
+				fmt.Printf("warn:    %-60s %12.0f -> %12.0f ns/op  (%+.1f%%, cross-machine)\n",
+					key, b.NsPerOp, c.NsPerOp, delta)
+			case delta < -*maxSlower:
+				fmt.Printf("faster:  %-60s %12.0f -> %12.0f ns/op  (%+.1f%%)\n",
+					key, b.NsPerOp, c.NsPerOp, delta)
+			}
+		}
+		if b.AllocsOp > 0 && pct(b.AllocsOp, c.AllocsOp) > *maxAllocs {
+			warnings++
+			fmt.Printf("warn:    %-60s %12.0f -> %12.0f allocs/op  (%+.1f%%)\n",
+				key, b.AllocsOp, c.AllocsOp, pct(b.AllocsOp, c.AllocsOp))
+		}
+	}
+	for key := range baseByKey {
+		if _, ok := curByKey[key]; !ok {
+			warnings++
+			fmt.Printf("warn:    %-60s missing from current run\n", key)
+		}
+	}
+
+	switch {
+	case regressions > 0:
+		fmt.Printf("\nFAIL: %d benchmark(s) regressed beyond the %.0f%% ns/op budget (%d warning(s))\n",
+			regressions, *maxSlower, warnings)
+		os.Exit(1)
+	case warnings > 0:
+		fmt.Printf("\nok: no ns/op regressions (%d warning(s))\n", warnings)
+	default:
+		fmt.Printf("ok: %d benchmark(s) within budget\n", len(curByKey))
+	}
+}
+
+// pct is the relative growth of cur over base in percent.
+func pct(base, cur float64) float64 { return (cur - base) / base * 100 }
+
+// collapse keys benchmarks by pkg+name, folding -count=N repeats into
+// their per-metric minimum — the standard noise-robust statistic: the
+// fastest observed run is the one least perturbed by the scheduler/GC,
+// and a true regression slows every repeat.
+func collapse(bs []Benchmark) map[string]Benchmark {
+	out := make(map[string]Benchmark, len(bs))
+	for _, b := range bs {
+		key := b.Pkg + " " + b.Name
+		prev, ok := out[key]
+		if !ok {
+			out[key] = b
+			continue
+		}
+		prev.NsPerOp = minPos(prev.NsPerOp, b.NsPerOp)
+		prev.BytesPerOp = minPos(prev.BytesPerOp, b.BytesPerOp)
+		prev.AllocsOp = minPos(prev.AllocsOp, b.AllocsOp)
+		out[key] = prev
+	}
+	return out
+}
+
+// minPos is the smaller of two values, ignoring zeros (a metric absent
+// from one repeat must not erase the other's reading).
+func minPos(a, b float64) float64 {
+	if a <= 0 {
+		return b
+	}
+	if b <= 0 || a < b {
+		return a
+	}
+	return b
+}
+
+func load(path string) (*Report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	r := &Report{}
+	if err := json.Unmarshal(data, r); err != nil {
+		return nil, fmt.Errorf("%s: %v", path, err)
+	}
+	if len(r.Benchmarks) == 0 {
+		return nil, fmt.Errorf("%s: no benchmarks", path)
+	}
+	return r, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "benchcmp: %v\n", err)
+	os.Exit(1)
+}

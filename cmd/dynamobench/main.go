@@ -8,6 +8,7 @@
 //	dynamobench all
 //	dynamobench scenario <name-or-json-file>...
 //	dynamobench scenario -list
+//	dynamobench snapshot {straight|forked}
 //
 // Experiments: table1 table2 table3 table4 table5 table6
 //
@@ -22,7 +23,14 @@
 //
 // -fidelity {fluid,event} selects the instance service model for every
 // cluster simulation: the closed-form fluid model (fast default) or one
-// event-level engine per instance (ground truth, slower).
+// event-level engine per instance (ground truth, slower). In event mode
+// -jobs also bounds the worker pool stepping instance engines inside each
+// simulation; any value produces byte-identical output.
+//
+// "snapshot straight" and "snapshot forked" run the same live session to
+// the same horizon — the forked variant through a mid-run checkpoint and
+// resume — and must print byte-identical reports (the CI determinism
+// gate diffs them).
 package main
 
 import (
@@ -107,11 +115,18 @@ func realMain() int {
 	cfg.Quick = *quick
 	cfg.Parallelism = *jobs
 	cfg.Fidelity = fid
+	cfg.StepJobs = *jobs
 
 	// Scenario mode: run named (or JSON-defined) scenarios through the
 	// six systems instead of regenerating paper figures.
 	if args[0] == "scenario" {
 		return runScenarios(cfg, args[1:])
+	}
+
+	// Snapshot mode: one live session run straight or through a mid-run
+	// checkpoint+fork; the two reports must be byte-identical.
+	if args[0] == "snapshot" {
+		return runSnapshot(cfg, args[1:])
 	}
 
 	if len(args) == 1 && args[0] == "all" {
@@ -199,6 +214,21 @@ func runScenarios(cfg expt.Config, args []string) int {
 		fmt.Println(expt.RenderScenario(r))
 	}
 	fmt.Fprintf(os.Stderr, "[%d scenario(s) took %v]\n", len(results), time.Since(start).Round(time.Millisecond))
+	return 0
+}
+
+// runSnapshot renders the snapshot-replay report, either straight through
+// or through a mid-run checkpoint and fork.
+func runSnapshot(cfg expt.Config, args []string) int {
+	mode := "straight"
+	if len(args) > 0 {
+		mode = args[0]
+	}
+	if mode != "straight" && mode != "forked" || len(args) > 1 {
+		fmt.Fprintln(os.Stderr, "dynamobench: usage: snapshot {straight|forked}")
+		return 2
+	}
+	fmt.Print(cfg.SnapshotReplay(mode == "forked"))
 	return 0
 }
 

@@ -2,6 +2,8 @@ package core
 
 import (
 	"math"
+	"sync"
+	"sync/atomic"
 
 	"dynamollm/internal/energy"
 	"dynamollm/internal/engine"
@@ -128,62 +130,125 @@ func (b *fluidBackend) Finish(simclock.Time) {}
 
 // --- Event backend ----------------------------------------------------------------
 
-// eventBackend runs every instance on its own event-level engine, all
-// sharing one virtual clock per simulation (deterministic and independent
-// of experiment parallelism: no state leaves the run). Requests are
-// submitted at their true arrival instants; queueing, batching, KV
-// admission, and tail latencies emerge from the engine instead of being
-// sampled from the fluid formulas. Energy is the engine meters' integral;
-// per-class token-level TTFT/TBT land in Result.ClassTTFT/ClassTBT.
+// eventBackend runs every instance on its own event-level engine, each on
+// a PRIVATE virtual clock. Between controller decisions the engines are
+// independent — they never schedule events on each other — so RunTo fans
+// their stepping across a bounded worker pool (Options.StepJobs) and then
+// merges per-engine results serially in instance-ID order. The output is
+// byte-identical for every StepJobs value: each engine's event sequence is
+// deterministic on its own clock, and everything shared (Result, the
+// observer) is written only in the serial delivery and merge phases.
+//
+// Requests are submitted at their true arrival instants; queueing,
+// batching, KV admission, and tail latencies emerge from the engine
+// instead of being sampled from the fluid formulas. Energy is the engine
+// meters' integral; per-class token-level TTFT/TBT land in
+// Result.ClassTTFT/ClassTBT.
 type eventBackend struct {
-	sm    *simulation
-	c     *Cluster
-	s     *sharedState
-	res   *Result
-	clock *simclock.Clock
+	sm  *simulation
+	c   *Cluster
+	s   *sharedState
+	res *Result
+
+	// now is the backend's time: the end of the last RunTo (every live
+	// engine clock stands exactly here between ticks).
+	now simclock.Time
 
 	// engines is dense by Instance.ID (IDs are handed out sequentially
 	// and never reused).
 	engines []*instEngine
+	// pending holds scheduled submissions not yet delivered to an engine,
+	// in scheduling order. Delivery happens serially at the top of each
+	// RunTo for everything due this tick; instance liveness is resolved at
+	// delivery, which is equivalent to the old shared-clock fire-time
+	// resolution because instance state only changes in the serial
+	// controller phases between RunTo calls.
+	pending []pendingSub
+	// stepList is the reusable scratch listing live engines in ID order
+	// for the stepping pool.
+	stepList []*instEngine
 	// scratch stages drained requests during migrations.
 	scratch []workload.Request
 }
 
-// instEngine is one instance's engine plus per-tick metering state.
+// pendingSub is one scheduled request submission awaiting delivery.
+type pendingSub struct {
+	at  simclock.Time
+	in  *Instance
+	req workload.Request
+}
+
+// instEngine is one instance's engine on its private clock, plus per-tick
+// metering state and the result buffers its callbacks fill while stepping
+// (possibly on a pool worker). Buffers are drained by the serial merge at
+// the end of every RunTo, so outside stepping they are always empty.
 type instEngine struct {
-	eng *engine.Engine
+	eng   *engine.Engine
+	clock *simclock.Clock
 	// lastJ is the meter reading at the previous tick boundary.
 	lastJ float64
 	// cls is the served-mix class of the last Advance, for attributing
 	// the post-horizon drain tail in Finish.
 	cls workload.Class
+
+	// lats buffers per-class latency samples (instEngine is the engine's
+	// LatencySink); toks buffers token events for tagged requests; dones
+	// buffers completed requests by value.
+	lats  []latSample
+	toks  []tokenEvent
+	dones []workload.Request
+}
+
+// latSample is one buffered per-class latency observation.
+type latSample struct {
+	cls workload.Class
+	tbt bool
+	v   float64
+}
+
+// tokenEvent is one buffered per-token observer notification.
+type tokenEvent struct {
+	req      workload.Request
+	produced int
+	at       simclock.Time
+}
+
+// ObserveTTFT implements engine.LatencySink, buffering into the engine's
+// own slot (never the shared Result — stepping may be concurrent).
+func (ie *instEngine) ObserveTTFT(cls workload.Class, v float64) {
+	ie.lats = append(ie.lats, latSample{cls: cls, v: v})
+}
+
+// ObserveTBT implements engine.LatencySink.
+func (ie *instEngine) ObserveTBT(cls workload.Class, v float64) {
+	ie.lats = append(ie.lats, latSample{cls: cls, tbt: true, v: v})
 }
 
 func newEventBackend(c *Cluster, res *Result) *eventBackend {
-	return &eventBackend{c: c, s: c.shared, res: res, clock: simclock.New()}
+	return &eventBackend{c: c, s: c.shared, res: res}
 }
 
 func (b *eventBackend) bind(sm *simulation) { b.sm = sm }
 
 // engineFor returns the instance's engine, building it on first touch
 // (frozen until readyAt while the instance is still provisioning or mid
-// transition). The meter starts at the touch instant, so an instance
-// created mid-epoch forgoes at most one tick of idle power relative to
-// the fluid backend (~3 kJ per scale-out — noise against run totals).
+// transition). The engine lives on a fresh private clock fast-forwarded to
+// the backend's time, so its meter starts at the current tick boundary —
+// an instance created mid-epoch forgoes at most one tick of idle power
+// relative to the fluid backend (~3 kJ per scale-out — noise against run
+// totals).
 func (b *eventBackend) engineFor(in *Instance) *instEngine {
 	for in.ID >= len(b.engines) {
 		b.engines = append(b.engines, nil)
 	}
 	ie := b.engines[in.ID]
 	if ie == nil {
+		clk := simclock.New()
+		clk.RunUntil(b.now)
 		cfg := perfmodel.Config{Model: b.s.opts.Model, TP: in.TP, Freq: in.freqCtl.Current()}
-		ie = &instEngine{eng: engine.New(cfg, b.clock), cls: workload.Classify(int(avgOr(in.mixIn, 512)), int(avgOr(in.mixOut, 200)))}
-		ie.eng.SetOnComplete(b.complete)
-		ie.eng.SetSink(b)
-		if b.s.opts.Observer != nil {
-			ie.eng.SetOnToken(b.token)
-		}
-		if in.state != stateActive && in.readyAt > b.clock.Now() {
+		ie = &instEngine{eng: engine.New(cfg, clk), clock: clk, cls: workload.Classify(int(avgOr(in.mixIn, 512)), int(avgOr(in.mixOut, 200)))}
+		b.wire(ie)
+		if in.state != stateActive && in.readyAt > b.now {
 			ie.eng.Freeze(in.readyAt)
 		}
 		b.engines[in.ID] = ie
@@ -191,39 +256,158 @@ func (b *eventBackend) engineFor(in *Instance) *instEngine {
 	return ie
 }
 
+// wire points an engine's callbacks at its own buffers. Nothing here may
+// touch the backend's shared state: callbacks fire while other engines
+// step concurrently.
+func (b *eventBackend) wire(ie *instEngine) {
+	ie.eng.SetOnComplete(func(req *workload.Request) {
+		ie.dones = append(ie.dones, *req)
+	})
+	ie.eng.SetSink(ie)
+	if b.s.opts.Observer != nil {
+		ie.eng.SetOnToken(func(req *workload.Request, produced int, now simclock.Time) {
+			if req.Tag != 0 {
+				ie.toks = append(ie.toks, tokenEvent{req: *req, produced: produced, at: now})
+			}
+		})
+	}
+}
+
 func (b *eventBackend) Admit(in *Instance, req *workload.Request, now simclock.Time) {
 	// A mispredicted, re-steered request reaches the right engine only
 	// after its detection delay.
 	at := req.Arrival + simclock.Time(req.SteerPenalty)
-	if at < b.clock.Now() {
-		at = b.clock.Now()
+	if at < b.now {
+		at = b.now
 	}
-	r := *req // the tick's request buffer is recycled; submit a copy
-	b.submitAt(in, r, at)
+	b.submitAt(in, *req, at) // the tick's request buffer is recycled; keep a copy
 }
 
-// submitAt schedules a request onto an instance's engine, re-resolving
-// liveness at fire time: if the instance retired between scheduling and
-// arrival, the in-transit request is re-routed to the pool's
-// earliest-ready sibling (the frontend would never deliver to a dead
-// machine), and squashed only when the pool has nothing left.
+// submitAt queues a request for delivery to an instance's engine at the
+// given instant. Liveness is re-resolved at delivery: if the instance
+// retired between scheduling and arrival, the in-transit request is
+// re-routed to the pool's earliest-ready sibling (the frontend would
+// never deliver to a dead machine), and squashed only when the pool has
+// nothing left.
 func (b *eventBackend) submitAt(in *Instance, r workload.Request, at simclock.Time) {
-	b.clock.At(at, func() {
-		target := in
-		if in.state == stateOff {
-			target = earliestReady(b.c.pools[in.Pool])
-			if target == nil || target == in {
+	b.pending = append(b.pending, pendingSub{at: at, in: in, req: r})
+}
+
+// deliver hands every pending submission due at or before horizon to its
+// engine's private clock (whose (time, seq) heap restores exact FIFO
+// order among equal arrival instants). Runs serially: it resolves
+// instance liveness and may build engines or notify the observer.
+func (b *eventBackend) deliver(horizon simclock.Time) {
+	kept := b.pending[:0]
+	for _, p := range b.pending {
+		if p.at > horizon {
+			kept = append(kept, p)
+			continue
+		}
+		target := p.in
+		if target.state == stateOff {
+			target = earliestReady(b.c.pools[target.Pool])
+			if target == nil || target == p.in {
 				b.res.Squashed++
-				b.notifySquashed(r)
-				return
+				b.notifySquashed(p.req)
+				continue
 			}
 		}
-		b.engineFor(target).eng.SubmitCopy(r)
-	})
+		ie := b.engineFor(target)
+		r := p.req
+		ie.clock.At(p.at, func() { ie.eng.SubmitCopy(r) })
+	}
+	b.pending = kept
 }
 
+// RunTo advances every engine to the tick boundary: serial delivery of
+// the tick's submissions, concurrent per-engine stepping, then a serial
+// merge of the buffered results in instance-ID order.
 func (b *eventBackend) RunTo(tickEnd simclock.Time) {
-	b.clock.RunUntil(tickEnd)
+	b.deliver(tickEnd)
+	b.stepAll(tickEnd, false)
+	b.now = tickEnd
+	b.merge()
+}
+
+// stepAll runs every live engine's agenda — to the tick boundary, or to
+// exhaustion when drain is set (Finish). With StepJobs > 1 the engines
+// are index-slotted across that many workers; each engine is stepped by
+// exactly one worker and touches only its own state and buffers, so the
+// result is byte-identical to the serial pass.
+func (b *eventBackend) stepAll(tickEnd simclock.Time, drain bool) {
+	b.stepList = b.stepList[:0]
+	for _, ie := range b.engines {
+		if ie != nil {
+			b.stepList = append(b.stepList, ie)
+		}
+	}
+	step := func(ie *instEngine) {
+		if drain {
+			ie.clock.Run()
+		} else {
+			ie.clock.RunUntil(tickEnd)
+		}
+	}
+	jobs := b.s.opts.StepJobs
+	if jobs > len(b.stepList) {
+		jobs = len(b.stepList)
+	}
+	if jobs <= 1 {
+		for _, ie := range b.stepList {
+			step(ie)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(jobs)
+	for w := 0; w < jobs; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(b.stepList) {
+					return
+				}
+				step(b.stepList[i])
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// merge folds every engine's buffered results into the shared Result and
+// observer, in instance-ID order — a fixed order independent of how the
+// stepping was scheduled, which is what makes parallel runs byte-identical
+// to serial ones. Within an engine, buffers replay in the engine's own
+// deterministic event order, so each request's token events still precede
+// its completion.
+func (b *eventBackend) merge() {
+	for _, ie := range b.engines {
+		if ie == nil {
+			continue
+		}
+		for _, ls := range ie.lats {
+			if ls.tbt {
+				b.res.ClassTBT[ls.cls].Add(ls.v)
+			} else {
+				b.res.ClassTTFT[ls.cls].Add(ls.v)
+			}
+		}
+		ie.lats = ie.lats[:0]
+		if obs := b.s.opts.Observer; obs != nil {
+			for i := range ie.toks {
+				t := &ie.toks[i]
+				obs.RequestToken(&t.req, t.produced, t.at)
+			}
+		}
+		ie.toks = ie.toks[:0]
+		for i := range ie.dones {
+			b.complete(&ie.dones[i])
+		}
+		ie.dones = ie.dones[:0]
+	}
 }
 
 func (b *eventBackend) Advance(in *Instance, a *assign, now simclock.Time) float64 {
@@ -262,14 +446,14 @@ func (b *eventBackend) Retire(in *Instance, now simclock.Time, graceful bool) {
 	if !graceful {
 		// Outage: in-flight work dies with the machine.
 		b.res.Squashed += ie.eng.Drain(b.squashSink())
-		b.settleEnergy(ie, b.clock.Now())
+		b.settleEnergy(ie, b.now)
 		return
 	}
 	// Planned departure: drain and migrate to the sibling that will
 	// serve soonest; with no sibling left the work is lost.
 	b.scratch = b.scratch[:0]
 	ie.eng.Drain(func(r workload.Request) { b.scratch = append(b.scratch, r) })
-	b.settleEnergy(ie, b.clock.Now())
+	b.settleEnergy(ie, b.now)
 	target := earliestReady(b.c.pools[in.Pool]) // in is stateOff: skipped
 	if target == nil || target == in {
 		b.res.Squashed += len(b.scratch)
@@ -300,7 +484,7 @@ func (b *eventBackend) Reconfigure(in *Instance, now simclock.Time) {
 	b.scratch = b.scratch[:0]
 	ie.eng.Drain(func(r workload.Request) { b.scratch = append(b.scratch, r) })
 	ie.eng.Reconfigure(perfmodel.Config{Model: b.s.opts.Model, TP: in.TP, Freq: in.freqCtl.Current()})
-	stallEnd := b.clock.Now()
+	stallEnd := b.now
 	if in.readyAt > now {
 		stallEnd = in.readyAt
 		if tf := in.throughputFactor; tf > 0 && tf < 1 {
@@ -320,11 +504,15 @@ func (b *eventBackend) Reconfigure(in *Instance, now simclock.Time) {
 	in.backlog = 0
 }
 
-// Finish lets in-flight work drain past the horizon (the clock runs until
-// every engine is idle), charges the drain tail's energy, and squashes
-// anything that can never complete (KV-stuck leftovers).
+// Finish lets in-flight work drain past the horizon (every engine runs
+// its agenda to exhaustion, still under the stepping pool), charges the
+// drain tail's energy, and squashes anything that can never complete
+// (KV-stuck leftovers). Each engine's meter closes at its own last event
+// — trailing idle time past an engine's final iteration is not billed.
 func (b *eventBackend) Finish(end simclock.Time) {
-	b.clock.Run()
+	b.deliver(simclock.Time(math.Inf(1)))
+	b.stepAll(0, true)
+	b.merge()
 	for _, ie := range b.engines {
 		if ie == nil {
 			continue
@@ -375,15 +563,6 @@ func (b *eventBackend) complete(req *workload.Request) {
 	}
 }
 
-// token forwards an engine's per-token event to the run observer for
-// tagged (live-injected) requests only, keeping untracked batch traffic
-// off the notification path.
-func (b *eventBackend) token(req *workload.Request, produced int, now simclock.Time) {
-	if req.Tag != 0 {
-		b.s.opts.Observer.RequestToken(req, produced, now)
-	}
-}
-
 // squashSink returns the Drain callback that reports each dropped request
 // to the run observer, or nil when no observer is installed (the batch
 // path keeps its allocation-free Drain(nil)).
@@ -404,14 +583,4 @@ func (b *eventBackend) notifySquashed(r workload.Request) {
 		r.Squashed = true
 		obs.RequestDone(&r, -1, -1, false)
 	}
-}
-
-// ObserveTTFT implements engine.LatencySink: token-level per-class capture.
-func (b *eventBackend) ObserveTTFT(cls workload.Class, v float64) {
-	b.res.ClassTTFT[cls].Add(v)
-}
-
-// ObserveTBT implements engine.LatencySink.
-func (b *eventBackend) ObserveTBT(cls workload.Class, v float64) {
-	b.res.ClassTBT[cls].Add(v)
 }

@@ -84,6 +84,14 @@ type Options struct {
 	// are deterministic for a fixed seed in either mode.
 	Fidelity Fidelity
 
+	// StepJobs bounds the worker pool the event backend uses to step
+	// per-instance engines within each tick (FidelityEvent only; the
+	// fluid backend is a single closed-form pass). 0 or 1 steps serially;
+	// any value produces byte-identical results — engines are independent
+	// between controller decisions and their outputs merge in a fixed
+	// instance-ID order.
+	StepJobs int
+
 	// NumPools is the number of request-type pools (9 = paper default;
 	// 1 = SinglePool; Fig. 13 sweeps 2..16).
 	NumPools int

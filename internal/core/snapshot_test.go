@@ -1,0 +1,169 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"dynamollm/internal/profile"
+	"dynamollm/internal/simclock"
+	"dynamollm/internal/trace"
+)
+
+// TestLiveCheckpointResume: snapshot a live session mid-run, fork it twice,
+// and advance everything to the same horizon — the original (proving the
+// snapshot is non-destructive) and both forks (proving the snapshot is
+// complete and reusable) must all finish bit-identical to a session that
+// ran straight through, under both fidelity backends.
+func TestLiveCheckpointResume(t *testing.T) {
+	if testing.Short() {
+		t.Skip("cluster simulation")
+	}
+	r, _ := fixtures(t)
+	mid := simclock.Time(3 * simclock.Minute)
+	end := simclock.Time(6 * simclock.Minute)
+	tr := trace.OpenSourceHour(6, 11).Window(0, end)
+
+	for _, f := range []Fidelity{FidelityFluid, FidelityEvent} {
+		straight := NewLive(tr, liveOpts(f), r)
+		straight.AdvanceTo(end)
+		want := fingerprint(straight.Finish())
+
+		live := NewLive(tr, liveOpts(f), r)
+		live.AdvanceTo(mid)
+		snap := live.Snapshot()
+		if snap.Boundary() != live.Boundary() {
+			t.Fatalf("fidelity %v: snapshot boundary %v != live boundary %v", f, snap.Boundary(), live.Boundary())
+		}
+
+		live.AdvanceTo(end)
+		if got := fingerprint(live.Finish()); got != want {
+			t.Errorf("fidelity %v: snapshotting perturbed the original:\n got  %+v\n want %+v", f, got, want)
+		}
+
+		for k := 0; k < 2; k++ {
+			fork := snap.Resume()
+			if fork.Boundary() != mid {
+				t.Fatalf("fidelity %v: fork %d resumed at %v, want %v", f, k, fork.Boundary(), mid)
+			}
+			fork.AdvanceTo(end)
+			if got := fingerprint(fork.Finish()); got != want {
+				t.Errorf("fidelity %v: fork %d != straight run:\n got  %+v\n want %+v", f, k, got, want)
+			}
+		}
+	}
+}
+
+// TestLiveForkDiverges: a fork is a real fork — injecting extra load into
+// it changes its result without touching the snapshot or the original.
+func TestLiveForkDiverges(t *testing.T) {
+	if testing.Short() {
+		t.Skip("cluster simulation")
+	}
+	r, _ := fixtures(t)
+	mid := simclock.Time(2 * simclock.Minute)
+	end := simclock.Time(5 * simclock.Minute)
+	tr := trace.OpenSourceHour(6, 11).Window(0, end)
+
+	live := NewLive(tr, liveOpts(FidelityEvent), r)
+	live.AdvanceTo(mid)
+	snap := live.Snapshot()
+
+	loaded := snap.Resume()
+	for i := 0; i < 50; i++ {
+		at := mid + simclock.Time(float64(i)*0.5)
+		if _, err := loaded.Inject(trace.Entry{At: at, InputTokens: 512, OutputTokens: 64}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	loaded.AdvanceTo(end)
+	loadedRes := loaded.Finish()
+
+	clean := snap.Resume()
+	clean.AdvanceTo(end)
+	cleanRes := clean.Finish()
+
+	if loadedRes.Requests != cleanRes.Requests+50 {
+		t.Errorf("loaded fork served %d, clean fork %d: want exactly +50", loadedRes.Requests, cleanRes.Requests)
+	}
+
+	live.AdvanceTo(end)
+	if got := live.Result().Requests; got != cleanRes.Requests {
+		t.Errorf("original served %d after forks diverged, want %d", got, cleanRes.Requests)
+	}
+}
+
+// TestEventStepJobsDeterministic: the parallel stepping worker pool is
+// invisible in the results — any StepJobs value produces a bit-identical
+// run. Under -race (make test) this also audits the workers for unsynced
+// shared state.
+func TestEventStepJobsDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("cluster simulation")
+	}
+	r, _ := fixtures(t)
+	tr := trace.OpenSourceHour(6, 11).Window(0, simclock.Time(6*simclock.Minute))
+
+	var want resultFingerprint
+	for i, jobs := range []int{1, 4, 8} {
+		opts := liveOpts(FidelityEvent)
+		opts.StepJobs = jobs
+		got := fingerprint(RunWithRepo(tr, opts, r))
+		if i == 0 {
+			want = got
+			continue
+		}
+		if got != want {
+			t.Errorf("StepJobs=%d diverges from serial:\n got  %+v\n want %+v", jobs, got, want)
+		}
+	}
+}
+
+// BenchmarkEventFleet measures a 20-server (TP8, so 20-engine) event-mode
+// fleet over a 10-minute high-load window, stepped with 1..8 workers. The
+// per-tick engine stepping dominates this workload, so ns/op across the
+// sub-benchmarks is the parallel-stepping speedup curve; on a single-core
+// host all rungs collapse to the serial cost (minus pool overhead).
+func BenchmarkEventFleet(b *testing.B) {
+	repo := profile.NewRepository(nil)
+	tr := trace.OpenSourceHour(45, 11).Window(0, 600)
+	mk := func(jobs int) Options {
+		opts := SinglePool()
+		opts.Seed = 7
+		opts.WarmLoad = warmConv
+		opts.Fidelity = FidelityEvent
+		opts.Servers = 20
+		opts.StepJobs = jobs
+		return opts
+	}
+	// Build profiles and caches outside the measurement.
+	RunWithRepo(tr, mk(1), repo)
+	for _, jobs := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("jobs=%d", jobs), func(b *testing.B) {
+			opts := mk(jobs)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res := RunWithRepo(tr, opts, repo)
+				if res.Requests == 0 {
+					b.Fatal("empty run")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkLiveSnapshot prices the checkpoint primitive itself: one
+// Snapshot+Resume round trip of a warmed 12-instance event-mode session.
+func BenchmarkLiveSnapshot(b *testing.B) {
+	repo := profile.NewRepository(nil)
+	tr := trace.OpenSourceHour(testPeakRPS, 11).Window(0, 300)
+	live := NewLive(tr, liveOpts(FidelityEvent), repo)
+	live.AdvanceTo(simclock.Time(4 * simclock.Minute))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if live.Snapshot().Resume() == nil {
+			b.Fatal("nil fork")
+		}
+	}
+}

@@ -86,6 +86,11 @@ type Engine struct {
 	// iterEnd is the scheduled end of the in-flight iteration, read by
 	// onIterEnd (one iteration is in flight at a time).
 	iterEnd simclock.Time
+	// nextStart is the absolute time of the pending iteration start while
+	// running and not yet mid-iteration. A Freeze arriving after kick does
+	// not reschedule the already-pending start, so the scheduled time —
+	// not max(now, frozenUntil) — is what a snapshot must reproduce.
+	nextStart simclock.Time
 	// onIterStart/onIterEnd are the iteration callbacks, bound once at
 	// construction so scheduling an iteration does not allocate closures.
 	onIterStart func()
@@ -257,6 +262,7 @@ func (e *Engine) kick() {
 	if start < e.frozenUntil {
 		start = e.frozenUntil
 	}
+	e.nextStart = start
 	e.clock.At(start, e.onIterStart)
 }
 

@@ -1,0 +1,164 @@
+package engine
+
+import (
+	"fmt"
+
+	"dynamollm/internal/energy"
+	"dynamollm/internal/metrics"
+	"dynamollm/internal/perfmodel"
+	"dynamollm/internal/simclock"
+	"dynamollm/internal/workload"
+)
+
+// SeqSnapshot captures one in-flight request's generation state. The
+// request itself is stored by value: a restored engine always owns its
+// requests (SubmitCopy semantics), never a pointer into caller storage.
+type SeqSnapshot struct {
+	Req         workload.Request
+	PrefillLeft int
+	Produced    int
+	Ctx         int
+	Enqueued    simclock.Time
+	LastToken   simclock.Time
+}
+
+// Snapshot is a self-contained copy of an Engine at a quiescent instant:
+// every event at or before Now has executed and anything still pending
+// lies strictly later (the state after Clock.RunUntil(Now)). It owns all
+// of its storage — distributions, meter, and sequence states are cloned —
+// so it stays valid while the source engine keeps running, and one
+// snapshot can seed any number of restored engines.
+//
+// Callbacks (completion, token, latency sink) are deliberately not part of
+// the snapshot; rewire them on the restored engine with SetOnComplete,
+// SetOnToken, and SetSink.
+type Snapshot struct {
+	Cfg perfmodel.Config
+	Now simclock.Time
+
+	Waiting []SeqSnapshot
+	Active  []SeqSnapshot
+
+	KVTokens    float64
+	Running     bool
+	FrozenUntil simclock.Time
+	IterEnd     simclock.Time
+	NextStart   simclock.Time
+
+	TTFT      *metrics.Dist
+	TBT       *metrics.Dist
+	Completed int
+	TokensIn  int
+	TokensOut int
+	Meter     *energy.Meter
+}
+
+func snapSeq(st *seqState) SeqSnapshot {
+	return SeqSnapshot{
+		Req:         *st.req,
+		PrefillLeft: st.prefillLeft,
+		Produced:    st.produced,
+		Ctx:         st.ctx,
+		Enqueued:    st.enqueued,
+		LastToken:   st.lastToken,
+	}
+}
+
+// Snapshot captures the engine's full state at the clock's current time.
+// The engine must be quiescent in the snapshot sense above — for the
+// cluster backend that is any tick boundary, right after RunTo.
+func (e *Engine) Snapshot() *Snapshot {
+	s := &Snapshot{
+		Cfg:         e.Cfg,
+		Now:         e.clock.Now(),
+		KVTokens:    e.kvTokens,
+		Running:     e.running,
+		FrozenUntil: e.frozenUntil,
+		IterEnd:     e.iterEnd,
+		NextStart:   e.nextStart,
+		TTFT:        e.TTFT.Clone(),
+		TBT:         e.TBT.Clone(),
+		Completed:   e.Completed,
+		TokensIn:    e.TokensIn,
+		TokensOut:   e.TokensOut,
+		Meter:       e.meter.Clone(),
+	}
+	if n := e.WaitingLen(); n > 0 {
+		s.Waiting = make([]SeqSnapshot, 0, n)
+		for i := e.waitHead; i < len(e.waiting); i++ {
+			s.Waiting = append(s.Waiting, snapSeq(e.waiting[i]))
+		}
+	}
+	if len(e.active) > 0 {
+		s.Active = make([]SeqSnapshot, 0, len(e.active))
+		for _, st := range e.active {
+			s.Active = append(s.Active, snapSeq(st))
+		}
+	}
+	return s
+}
+
+func restoreSeq(e *Engine, q SeqSnapshot) *seqState {
+	st := e.getState()
+	st.owned = q.Req
+	st.req = &st.owned
+	st.prefillLeft = q.PrefillLeft
+	st.produced = q.Produced
+	st.ctx = q.Ctx
+	st.enqueued = q.Enqueued
+	st.lastToken = q.LastToken
+	return st
+}
+
+// FromSnapshot rebuilds an engine on the given clock, which must stand at
+// the snapshot instant (the restored engine re-schedules its pending
+// iteration event in absolute time). Advancing the restored engine
+// produces bit-identical results to advancing the original uninterrupted:
+// queues, KV state, the energy meter, and the one in-flight iteration
+// event are all reproduced exactly.
+func FromSnapshot(s *Snapshot, clock *simclock.Clock) *Engine {
+	if clock.Now() != s.Now {
+		panic(fmt.Sprintf("engine: restoring a snapshot taken at %v onto a clock at %v", s.Now, clock.Now()))
+	}
+	e := &Engine{
+		Cfg:         s.Cfg,
+		clock:       clock,
+		kvCapacity:  s.Cfg.Model.KVCapacityTokens(s.Cfg.TP),
+		kvTokens:    s.KVTokens,
+		running:     s.Running,
+		frozenUntil: s.FrozenUntil,
+		iterEnd:     s.IterEnd,
+		nextStart:   s.NextStart,
+		meter:       s.Meter.Clone(),
+		TTFT:        s.TTFT.Clone(),
+		TBT:         s.TBT.Clone(),
+		Completed:   s.Completed,
+		TokensIn:    s.TokensIn,
+		TokensOut:   s.TokensOut,
+	}
+	e.onIterStart = e.iterate
+	e.onIterEnd = e.finishIteration
+	for _, q := range s.Waiting {
+		e.waiting = append(e.waiting, restoreSeq(e, q))
+	}
+	for _, q := range s.Active {
+		e.active = append(e.active, restoreSeq(e, q))
+	}
+	// Re-arm the engine's single in-flight event. While running, exactly
+	// one of two events is pending: the iteration end (strictly in the
+	// future — a due end would have fired before the snapshot) or the next
+	// iteration start at the time kick actually scheduled (which a later
+	// Freeze does not move, hence NextStart rather than FrozenUntil).
+	if e.running {
+		if e.iterEnd > s.Now {
+			clock.At(e.iterEnd, e.onIterEnd)
+		} else {
+			at := e.nextStart
+			if at < s.Now {
+				at = s.Now
+			}
+			clock.At(at, e.onIterStart)
+		}
+	}
+	return e
+}

@@ -45,6 +45,11 @@ type Config struct {
 	// core.FidelityEvent. Event mode owns one virtual clock per
 	// simulation, so results stay deterministic at any Parallelism.
 	Fidelity core.Fidelity
+	// StepJobs bounds the worker pool each event-fidelity simulation uses
+	// to step its instance engines within a tick (core.Options.StepJobs).
+	// Orthogonal to Parallelism — that fans out whole simulations, this
+	// parallelizes inside one — and equally invisible in the results.
+	StepJobs int
 }
 
 // Default returns the standard harness configuration.
@@ -294,6 +299,7 @@ func (c Config) systemOptions(name string, mutate func(*core.Options)) (core.Opt
 	}
 	opts.Seed = c.Seed
 	opts.Fidelity = c.Fidelity
+	opts.StepJobs = c.StepJobs
 	opts.WarmLoad = c.warm(trace.Conversation, trace.OpenSourceHourStart)
 	if mutate != nil {
 		mutate(&opts)

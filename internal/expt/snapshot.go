@@ -1,0 +1,46 @@
+package expt
+
+import (
+	"fmt"
+	"strings"
+
+	"dynamollm/internal/core"
+	"dynamollm/internal/simclock"
+)
+
+// snapshotWindow is the horizon of the snapshot-replay exercise: long
+// enough for the dynamollm controller to reshard and scale, short enough
+// for CI to run it under the race detector in event fidelity.
+const snapshotWindow = simclock.Time(10 * simclock.Minute)
+
+// SnapshotReplay drives the dynamollm system over a trimmed cluster hour
+// and renders its final counters. With forked=false the session runs
+// straight through; with forked=true it is checkpointed mid-window via
+// core.Live.Snapshot and a resumed fork — not the original — is advanced
+// to the horizon. The snapshot contract makes the two outputs
+// byte-identical under either fidelity backend, which is exactly what the
+// CI determinism gate diffs.
+func (c Config) SnapshotReplay(forked bool) string {
+	tr := c.hourTrace().Window(0, snapshotWindow)
+	opts := c.mustSystemOptions("dynamollm", nil)
+	live := core.NewLive(tr, opts, c.repo())
+	if forked {
+		live.AdvanceTo(snapshotWindow / 2)
+		live = live.Snapshot().Headless().Resume()
+	}
+	live.AdvanceTo(snapshotWindow)
+	res := live.Finish()
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "snapshot replay: dynamollm, %s fidelity, %.0f virtual s\n",
+		opts.Fidelity, float64(snapshotWindow))
+	fmt.Fprintf(&b, "  requests %d  squashed %d  completed %d  slo_met %d\n",
+		res.Requests, res.Squashed, res.Completed, res.SLOMet)
+	fmt.Fprintf(&b, "  reshards %d  scale_outs %d  scale_ins %d  freq_changes %d  emergencies %d\n",
+		res.Reshards, res.ScaleOuts, res.ScaleIns, res.FreqChanges, res.Emergencies)
+	fmt.Fprintf(&b, "  energy_j %.9g  gpu_seconds %.9g\n", res.EnergyJ, res.GPUSeconds)
+	fmt.Fprintf(&b, "  ttft_p50 %.9g  ttft_p99 %.9g  tbt_p50 %.9g  tbt_p99 %.9g\n",
+		res.TTFT.Percentile(50), res.TTFT.Percentile(99),
+		res.TBT.Percentile(50), res.TBT.Percentile(99))
+	return b.String()
+}
