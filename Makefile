@@ -22,9 +22,9 @@ COUNT ?= 1
 GATEBENCH ?= TickLoop|EventFleet|LiveSnapshot|LiveAdvanceTick|EngineSoak
 
 # Committed baseline the perf-regression gate compares against.
-BASE ?= 6
+BASE ?= 7
 
-.PHONY: all build test lint docs-check bench bench-json bench-gate profile smoke scenario-smoke event-smoke fidelity-smoke serve-smoke
+.PHONY: all build test lint docs-check bench bench-json bench-gate profile smoke scenario-smoke event-smoke fidelity-smoke serve-smoke chaos-smoke restore-smoke
 
 all: build lint docs-check test
 
@@ -103,3 +103,14 @@ fidelity-smoke:
 # event, scrapes /metrics, and asserts a clean drain on shutdown.
 serve-smoke:
 	./scripts/serve_smoke.sh
+
+# Fault-injection sweep through the real CLI, race detector on: crash
+# intensity x straggler fraction x retry budget across the six systems
+# (quick grid, thin peak). CI uploads the table as an artifact.
+chaos-smoke:
+	$(GO) run -race ./cmd/dynamobench -quick -peak 5 chaos | tee chaos-sweep.txt
+
+# End-to-end crash recovery: durable dynamoserve under load, kill -9,
+# restore from the WAL + checkpoint, assert no acked request was lost.
+restore-smoke:
+	./scripts/restore_smoke.sh

@@ -19,7 +19,9 @@
 // the whole built-in scenario library across all six systems, and
 // "scenario <name>" runs one — a library name like flashcrowd, or a path
 // to a JSON scenario definition. "fidelity" cross-validates the fluid
-// model against the event-level engine and is not part of "all".)
+// model against the event-level engine, "chaos" sweeps the fault grid —
+// crash intensity x straggler fraction x retry budget — and neither is
+// part of "all".)
 //
 // -fidelity {fluid,event} selects the instance service model for every
 // cluster simulation: the closed-form fluid model (fast default) or one
@@ -168,10 +170,10 @@ func allNames() []string {
 }
 
 // names lists every accepted experiment: the "all" set plus the fidelity
-// cross-validation, which runs its own fluid+event grid and is therefore
-// kept out of "all".
+// cross-validation (runs its own fluid+event grid) and the chaos sweep
+// (fault grid, robustness-focused), both kept out of "all".
 func names() []string {
-	return append(allNames(), "fidelity")
+	return append(allNames(), "fidelity", "chaos")
 }
 
 // runScenarios resolves each argument to a scenario — a built-in library
@@ -282,6 +284,12 @@ func run(cfg expt.Config, name string, hour func() []expt.SystemRun) (string, er
 			return "", err
 		}
 		return expt.RenderScenarioSweep(rs), nil
+	case "chaos":
+		ps, err := cfg.ChaosSweep()
+		if err != nil {
+			return "", err
+		}
+		return expt.RenderChaos(ps), nil
 	case "fidelity":
 		return expt.RenderFidelity(cfg.FidelityCompare()), nil
 	}

@@ -12,8 +12,11 @@
 //
 // Each request blocks for its completion (the server resolves it in
 // accelerated virtual time), so wall latency includes simulated queueing
-// plus pacing granularity. Exit status is non-zero when more than 10% of
-// requests fail or none complete.
+// plus pacing granularity. Rejections the server marks transient —
+// connection errors, 429 shed (its Retry-After is honored), and 503 —
+// are retried up to -retries times with jittered exponential backoff;
+// the summary breaks failures down by class. Exit status is non-zero
+// when the terminal-failure fraction exceeds -max-fail or none complete.
 package main
 
 import (
@@ -21,8 +24,11 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
+	"math"
 	"net/http"
 	"os"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -31,6 +37,14 @@ import (
 	"dynamollm/internal/simclock"
 	"dynamollm/internal/trace"
 	"dynamollm/internal/workload"
+)
+
+// Backoff shape for retried requests: exponential from backoffBase,
+// capped, with a multiplicative jitter in [0.5, 1.5); a server-sent
+// Retry-After takes precedence when longer.
+const (
+	backoffBase = 200 * time.Millisecond
+	backoffCap  = 5 * time.Second
 )
 
 func main() {
@@ -46,9 +60,16 @@ func realMain() int {
 	mix := flag.Bool("mix", false, "sample class-realistic token lengths instead of fixed -in/-out")
 	seed := flag.Uint64("seed", 1, "random seed for arrivals and the -mix sampler")
 	timeout := flag.Duration("timeout", 60*time.Second, "per-request completion timeout")
+	retries := flag.Int("retries", 3, "retry budget per request for transient rejections (connection errors, 429, 503)")
+	maxFail := flag.Float64("max-fail", 0.10, "terminal-failure fraction above which the exit status is non-zero")
 	flag.Parse()
 	if *rps <= 0 || *duration <= 0 {
 		fmt.Fprintln(os.Stderr, "dynamoload: -rps and -duration must be positive")
+		flag.Usage()
+		return 2
+	}
+	if *maxFail < 0 || *maxFail > 1 {
+		fmt.Fprintln(os.Stderr, "dynamoload: -max-fail must be in [0, 1]")
 		flag.Usage()
 		return 2
 	}
@@ -62,9 +83,10 @@ func realMain() int {
 	}
 
 	var (
-		sent, completed, failed, squashed atomic.Int64
-		mu                                sync.Mutex
-		latency                           = metrics.NewDist()
+		sent, failed, retried atomic.Int64
+		ctrs                  counters
+		mu                    sync.Mutex
+		latency               = metrics.NewDist()
 	)
 	rng := simclock.NewRNG(*seed)
 	lenRNG := rng.Split(1)
@@ -85,41 +107,50 @@ func realMain() int {
 		if *mix {
 			in, out = trace.SampleLengths(lenRNG, workload.Class(rng.Pick(classWeights)))
 		}
-		sent.Add(1)
+		i := sent.Add(1)
 		wg.Add(1)
-		go func(in, out int) {
+		go func(i int64, in, out int) {
 			defer wg.Done()
+			jitter := simclock.NewRNG(*seed ^ uint64(i)*0x9e3779b97f4a7c15)
 			body, _ := json.Marshal(map[string]int{"input_tokens": in, "output_tokens": out})
 			t0 := time.Now()
-			resp, err := client.Post(*url+"/request", "application/json", bytes.NewReader(body))
-			if err != nil {
-				failed.Add(1)
-				return
+			for attempt := 0; ; attempt++ {
+				oc, retryAfter := doRequest(client, *url, body, &ctrs)
+				if oc == reqDone {
+					mu.Lock()
+					latency.Add(time.Since(t0).Seconds())
+					mu.Unlock()
+					return
+				}
+				if oc == reqTerminal || attempt >= *retries {
+					failed.Add(1)
+					return
+				}
+				retried.Add(1)
+				back := time.Duration(float64(backoffBase) * math.Pow(2, float64(attempt)))
+				if back > backoffCap {
+					back = backoffCap
+				}
+				back = time.Duration(float64(back) * (0.5 + jitter.Float64()))
+				if retryAfter > back {
+					back = retryAfter
+				}
+				time.Sleep(back)
 			}
-			defer resp.Body.Close()
-			var done struct {
-				Squashed bool `json:"squashed"`
-			}
-			if resp.StatusCode != http.StatusOK || json.NewDecoder(resp.Body).Decode(&done) != nil {
-				failed.Add(1)
-				return
-			}
-			if done.Squashed {
-				squashed.Add(1)
-			}
-			completed.Add(1)
-			mu.Lock()
-			latency.Add(time.Since(t0).Seconds())
-			mu.Unlock()
-		}(in, out)
+		}(i, in, out)
 	}
 	sendWindow := time.Since(start)
 	wg.Wait()
 	drainWait := time.Since(start) - sendWindow
 
 	n := sent.Load()
-	fmt.Printf("dynamoload: %d sent in %.1fs (%.1f req/s achieved, target %.1f), %d completed, %d squashed, %d errors, drain wait %.1fs\n",
-		n, sendWindow.Seconds(), float64(n)/sendWindow.Seconds(), *rps, completed.Load(), squashed.Load(), failed.Load(), drainWait.Seconds())
+	fmt.Printf("dynamoload: %d sent in %.1fs (%.1f req/s achieved, target %.1f), %d completed, %d squashed, %d failed, %d retries, drain wait %.1fs\n",
+		n, sendWindow.Seconds(), float64(n)/sendWindow.Seconds(), *rps,
+		ctrs.completed.Load(), ctrs.squashed.Load(), failed.Load(), retried.Load(), drainWait.Seconds())
+	if errTotal := ctrs.conn.Load() + ctrs.shed.Load() + ctrs.unavail.Load() + ctrs.timeouts.Load() + ctrs.other.Load(); errTotal > 0 {
+		fmt.Printf("  error attempts: conn=%d shed(429)=%d unavailable(503)=%d timeout(408/504)=%d other=%d\n",
+			ctrs.conn.Load(), ctrs.shed.Load(), ctrs.unavail.Load(), ctrs.timeouts.Load(), ctrs.other.Load())
+	}
 	fmt.Printf("  wall completion latency: p50=%.3fs p90=%.3fs p99=%.3fs max=%.3fs\n",
 		latency.Percentile(50), latency.Percentile(90), latency.Percentile(99), latency.Max())
 
@@ -129,11 +160,77 @@ func realMain() int {
 			stats["ttft_p99_s"], int(stats["active_servers"]), stats["sim_lag_virtual_s"])
 	}
 
-	if completed.Load() == 0 || failed.Load()*10 > n {
-		fmt.Fprintln(os.Stderr, "dynamoload: failure threshold exceeded")
+	if ctrs.completed.Load() == 0 || float64(failed.Load()) > *maxFail*float64(n) {
+		fmt.Fprintf(os.Stderr, "dynamoload: failure threshold exceeded (%d/%d terminal failures, limit %.0f%%)\n",
+			failed.Load(), n, *maxFail*100)
 		return 1
 	}
 	return 0
+}
+
+// counters is the per-class attempt accounting. Transient classes (conn,
+// shed, unavail) are retried by the caller; timeouts and other statuses
+// are terminal.
+type counters struct {
+	completed, squashed                  atomic.Int64
+	conn, shed, unavail, timeouts, other atomic.Int64
+}
+
+// outcome classifies one request attempt.
+type outcome int
+
+const (
+	reqDone      outcome = iota // completion received
+	reqRetryable                // transient rejection: retry with backoff
+	reqTerminal                 // hard failure: do not retry
+)
+
+// doRequest makes one /request attempt and classifies the result. For a
+// 429 it returns the server's Retry-After as a floor under the caller's
+// backoff. Timeouts (408 per-request deadline, 504 wait backstop) are
+// terminal: the request was accepted and is still being served, so a
+// retry would duplicate its work.
+func doRequest(client *http.Client, url string, body []byte, c *counters) (outcome, time.Duration) {
+	resp, err := client.Post(url+"/request", "application/json", bytes.NewReader(body))
+	if err != nil {
+		c.conn.Add(1)
+		return reqRetryable, 0
+	}
+	defer func() {
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}()
+	switch resp.StatusCode {
+	case http.StatusOK:
+		var done struct {
+			Squashed bool `json:"squashed"`
+		}
+		if json.NewDecoder(resp.Body).Decode(&done) != nil {
+			c.other.Add(1)
+			return reqTerminal, 0
+		}
+		if done.Squashed {
+			c.squashed.Add(1)
+		}
+		c.completed.Add(1)
+		return reqDone, 0
+	case http.StatusTooManyRequests:
+		c.shed.Add(1)
+		var after time.Duration
+		if secs, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && secs > 0 {
+			after = time.Duration(secs) * time.Second
+		}
+		return reqRetryable, after
+	case http.StatusServiceUnavailable:
+		c.unavail.Add(1)
+		return reqRetryable, 0
+	case http.StatusRequestTimeout, http.StatusGatewayTimeout:
+		c.timeouts.Add(1)
+		return reqTerminal, 0
+	default:
+		c.other.Add(1)
+		return reqTerminal, 0
+	}
 }
 
 // scrapeStats fetches the server's /stats document, reduced to its

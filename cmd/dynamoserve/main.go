@@ -17,12 +17,19 @@
 // The default -fidelity event runs one event-level continuous-batching
 // engine per instance, so injected requests see real queueing, batching,
 // and token-level latencies. SIGINT/SIGTERM drains in-flight work through
-// the engines before exiting.
+// the engines before exiting (-drain-limit bounds the drain).
+//
+// Robustness controls: -max-inflight and -max-lag shed injections with
+// 429 + Retry-After when the server is overloaded; a per-request
+// "deadline_s" field turns a blown wait into 408. With -state DIR every
+// acked injection is WAL-synced before the ack and progress is
+// checkpointed, so after a crash (even kill -9) `dynamoserve -state DIR
+// -restore` rebuilds the session losing no acked request.
 //
 // Usage:
 //
 //	dynamoserve -addr :8080 -system dynamollm -peak 45 -speed 60 \
-//	            -fidelity event -loop
+//	            -fidelity event -loop -state /tmp/dyn.state
 package main
 
 import (
@@ -34,6 +41,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strconv"
 	"syscall"
 	"time"
 
@@ -57,7 +65,31 @@ func realMain() int {
 	fidelity := flag.String("fidelity", "event", "instance fidelity backend: fluid|event")
 	loop := flag.Bool("loop", true, "replay the base trace when its horizon is reached")
 	waitTimeout := flag.Duration("wait-timeout", serve.DefaultWaitTimeout, "max wall time a /request waits for its completion")
+	maxInflight := flag.Int("max-inflight", 0, "shed /request injections (429) once this many are in flight (0 = unlimited)")
+	maxLag := flag.Float64("max-lag", 0, "shed /request injections (429) while the simulation trails the pacer by more than this many virtual seconds (0 = unlimited)")
+	drainLimit := flag.Float64("drain-limit", 0, "max virtual seconds Close simulates to drain stragglers on shutdown (0 = unlimited)")
+	stateDir := flag.String("state", "", "state directory for crash durability (WAL + checkpoints); empty disables")
+	restore := flag.Bool("restore", false, "resume the session recorded in -state (system/peak/speed/seed/fidelity/loop come from its checkpoint)")
 	flag.Parse()
+
+	if *restore && *stateDir == "" {
+		fmt.Fprintf(os.Stderr, "dynamoserve: -restore requires -state\n\n")
+		flag.Usage()
+		return 2
+	}
+	if *restore {
+		// The checkpoint is authoritative for everything that must match
+		// the pre-crash session; the command-line values are ignored.
+		ck, err := serve.ReadCheckpoint(*stateDir)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "dynamoserve: restore: %v\n", err)
+			return 1
+		}
+		*system, *seed, *speed, *fidelity, *loop = ck.System, ck.Seed, ck.Speed, ck.Fidelity, ck.Loop
+		if p, err := strconv.ParseFloat(ck.Meta["peak"], 64); err == nil && p > 0 {
+			*peak = p
+		}
+	}
 
 	opts, ok := core.SystemByName(*system)
 	if !ok {
@@ -80,14 +112,29 @@ func realMain() int {
 		return trace.ExpectedRate(trace.Conversation, *peak, t+trace.OpenSourceHourStart, c)
 	}
 
-	session := serve.New(serve.Config{
-		Name:  *system,
-		Opts:  opts,
-		Trace: base,
-		Speed: *speed,
-		Loop:  *loop,
-		Logf:  log.Printf,
-	})
+	cfg := serve.Config{
+		Name:          *system,
+		Opts:          opts,
+		Trace:         base,
+		Speed:         *speed,
+		Loop:          *loop,
+		Logf:          log.Printf,
+		MaxInflight:   *maxInflight,
+		MaxLagSeconds: *maxLag,
+		DrainLimit:    *drainLimit,
+		StateDir:      *stateDir,
+		Meta:          map[string]string{"peak": strconv.FormatFloat(*peak, 'g', -1, 64)},
+	}
+	var session *serve.Session
+	if *restore {
+		session, err = serve.Restore(cfg)
+	} else {
+		session, err = serve.NewDurable(cfg)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "dynamoserve: %v\n", err)
+		return 1
+	}
 	session.Start()
 
 	srv := &http.Server{Addr: *addr, Handler: serve.NewHandler(session, *waitTimeout)}

@@ -235,7 +235,7 @@ func SimulateScenario(name string, peakRPS float64, cfg Config) (*Result, error)
 	opts.WarmLoad = func(t simclock.Time, c workload.Class) float64 {
 		return trace.ExpectedRate(svc, peakRPS, t+start, c)
 	}
-	opts.Hook = sc.Hook()
+	opts.Hook = sc.Hook(cfg.Seed)
 	return wrapResult(core.RunWithRepo(tr, opts, nil)), nil
 }
 

@@ -38,7 +38,10 @@ type InstanceBackend interface {
 	// average power draw over the tick in watts.
 	Advance(in *Instance, a *assign, now simclock.Time) float64
 	// Retire handles an instance leaving service (already stateOff).
-	// graceful departures may migrate in-flight work; outages drop it.
+	// Graceful departures may migrate in-flight work; outage victims'
+	// requests go to the frontend retry path (simulation.frontendFail),
+	// which re-routes them after a backoff or terminally squashes them
+	// once the retry budget is spent.
 	Retire(in *Instance, now simclock.Time, graceful bool)
 	// Reconfigure reacts to a TP/transition change applied by the
 	// re-sharding planner.
@@ -112,13 +115,17 @@ func (b *fluidBackend) Advance(in *Instance, a *assign, now simclock.Time) float
 
 func (b *fluidBackend) Retire(in *Instance, now simclock.Time, graceful bool) {
 	// An abrupt outage drops the instance's queued work; planned
-	// departures drain it through the ordinary rate dynamics.
+	// departures drain it through the ordinary rate dynamics. Fluid
+	// backlog is load, not request identity (those requests already
+	// completed in their arrival tick), so the loss is SquashedLoad —
+	// request-level retry happens only where requests exist, in the event
+	// backend and the router's no-capacity path.
 	if graceful {
 		return
 	}
 	if in.backlog > 0 {
 		if b.res != nil {
-			b.res.Squashed += int(in.backlog)
+			b.res.SquashedLoad += in.backlog
 		}
 		in.backlog = 0
 	}
@@ -245,7 +252,7 @@ func (b *eventBackend) engineFor(in *Instance) *instEngine {
 	if ie == nil {
 		clk := simclock.New()
 		clk.RunUntil(b.now)
-		cfg := perfmodel.Config{Model: b.s.opts.Model, TP: in.TP, Freq: in.freqCtl.Current()}
+		cfg := perfmodel.Config{Model: b.s.opts.Model, TP: in.TP, Freq: in.effFreq()}
 		ie = &instEngine{eng: engine.New(cfg, clk), clock: clk, cls: workload.Classify(int(avgOr(in.mixIn, 512)), int(avgOr(in.mixOut, 200)))}
 		b.wire(ie)
 		if in.state != stateActive && in.readyAt > b.now {
@@ -287,8 +294,8 @@ func (b *eventBackend) Admit(in *Instance, req *workload.Request, now simclock.T
 // given instant. Liveness is re-resolved at delivery: if the instance
 // retired between scheduling and arrival, the in-transit request is
 // re-routed to the pool's earliest-ready sibling (the frontend would
-// never deliver to a dead machine), and squashed only when the pool has
-// nothing left.
+// never deliver to a dead machine), and handed to the frontend retry
+// path only when the pool has nothing left.
 func (b *eventBackend) submitAt(in *Instance, r workload.Request, at simclock.Time) {
 	b.pending = append(b.pending, pendingSub{at: at, in: in, req: r})
 }
@@ -308,8 +315,10 @@ func (b *eventBackend) deliver(horizon simclock.Time) {
 		if target.state == stateOff {
 			target = earliestReady(b.c.pools[target.Pool])
 			if target == nil || target == p.in {
-				b.res.Squashed++
-				b.notifySquashed(p.req)
+				// The pool died while the request was in transit: the
+				// frontend retries it after a backoff (terminal squash
+				// once the budget is spent).
+				b.sm.frontendFail(p.req, p.at)
 				continue
 			}
 		}
@@ -412,9 +421,11 @@ func (b *eventBackend) merge() {
 
 func (b *eventBackend) Advance(in *Instance, a *assign, now simclock.Time) float64 {
 	ie := b.engineFor(in)
-	// Propagate the instance manager's DVFS decision, paying the
-	// frequency-set stall the controller path implies.
-	if f := in.freqCtl.Current(); f != ie.eng.Cfg.Freq {
+	// Propagate the instance manager's DVFS decision — degraded by any
+	// injected straggler factor — paying the frequency-set stall the
+	// controller path implies. A straggler onset or repair flows through
+	// here as an effective-clock change.
+	if f := in.effFreq(); f != ie.eng.Cfg.Freq {
 		stall := gpu.SlowSetOverhead
 		if b.s.opts.ReducedOverheads {
 			stall = gpu.FastSetOverhead
@@ -444,21 +455,28 @@ func (b *eventBackend) Retire(in *Instance, now simclock.Time, graceful bool) {
 	b.engines[in.ID] = nil
 	in.backlog = 0
 	if !graceful {
-		// Outage: in-flight work dies with the machine.
-		b.res.Squashed += ie.eng.Drain(b.squashSink())
+		// Outage: in-flight work dies with the machine, but the frontend
+		// notices and retries each request against whatever capacity is
+		// left (§IV-D) — terminal squash only past the retry budget.
+		b.scratch = b.scratch[:0]
+		ie.eng.Drain(func(r workload.Request) { b.scratch = append(b.scratch, r) })
 		b.settleEnergy(ie, b.now)
+		for i := range b.scratch {
+			b.sm.frontendFail(b.scratch[i], now)
+		}
+		b.scratch = b.scratch[:0]
 		return
 	}
 	// Planned departure: drain and migrate to the sibling that will
-	// serve soonest; with no sibling left the work is lost.
+	// serve soonest; with no sibling left the frontend retry path takes
+	// over.
 	b.scratch = b.scratch[:0]
 	ie.eng.Drain(func(r workload.Request) { b.scratch = append(b.scratch, r) })
 	b.settleEnergy(ie, b.now)
 	target := earliestReady(b.c.pools[in.Pool]) // in is stateOff: skipped
 	if target == nil || target == in {
-		b.res.Squashed += len(b.scratch)
-		for _, r := range b.scratch {
-			b.notifySquashed(r)
+		for i := range b.scratch {
+			b.sm.frontendFail(b.scratch[i], now)
 		}
 		b.scratch = b.scratch[:0]
 		return
@@ -483,7 +501,7 @@ func (b *eventBackend) Reconfigure(in *Instance, now simclock.Time) {
 	// reconfigured engine after the transition stall.
 	b.scratch = b.scratch[:0]
 	ie.eng.Drain(func(r workload.Request) { b.scratch = append(b.scratch, r) })
-	ie.eng.Reconfigure(perfmodel.Config{Model: b.s.opts.Model, TP: in.TP, Freq: in.freqCtl.Current()})
+	ie.eng.Reconfigure(perfmodel.Config{Model: b.s.opts.Model, TP: in.TP, Freq: in.effFreq()})
 	stallEnd := b.now
 	if in.readyAt > now {
 		stallEnd = in.readyAt
@@ -543,9 +561,15 @@ func (b *eventBackend) settleEnergy(ie *instEngine, at simclock.Time) {
 }
 
 // complete judges one finished request against its true class's SLO.
+// TTFT/TBT come from the request's own timestamps; Arrival survives
+// retries, so a retried request's TTFT spans every failed attempt and
+// backoff — retry-aware SLO accounting needs no extra term here.
 func (b *eventBackend) complete(req *workload.Request) {
 	res := b.res
 	res.Completed++
+	if req.Retries > 0 {
+		res.RetrySuccess++
+	}
 	cls := req.Class()
 	res.ClassRequests[cls]++
 	res.TTFT.Add(req.TTFT())
@@ -572,14 +596,6 @@ func (b *eventBackend) squashSink() func(workload.Request) {
 		return nil
 	}
 	return func(r workload.Request) {
-		r.Squashed = true
-		obs.RequestDone(&r, -1, -1, false)
-	}
-}
-
-// notifySquashed reports one squashed in-transit request to the observer.
-func (b *eventBackend) notifySquashed(r workload.Request) {
-	if obs := b.s.opts.Observer; obs != nil {
 		r.Squashed = true
 		obs.RequestDone(&r, -1, -1, false)
 	}

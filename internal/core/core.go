@@ -111,6 +111,13 @@ type Options struct {
 	// (Fig. 11; 1.0 = oracle).
 	PredictorAccuracy float64
 
+	// RetryBudget is the per-request frontend retry budget (§IV-D): how
+	// many times a squashed request (instance outage, pool with no
+	// capacity) re-enters the router before it is terminally dropped.
+	// Zero takes the default (DefaultRetryBudget); negative disables
+	// retries entirely, restoring squash-means-drop semantics.
+	RetryBudget int
+
 	// Servers is the static server count for non-scaling systems; when
 	// ScaleInstances is set it is the fleet ceiling instead.
 	Servers int
@@ -180,6 +187,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.PredictorAccuracy <= 0 || o.PredictorAccuracy > 1 {
 		o.PredictorAccuracy = 1
+	}
+	if o.RetryBudget == 0 {
+		o.RetryBudget = DefaultRetryBudget
 	}
 	if o.Servers <= 0 {
 		o.Servers = 12
@@ -293,6 +303,11 @@ type sharedState struct {
 	// sloMult is the hook-injected SLO scaling applied to requests at
 	// arrival (values below 1 tighten, above 1 relax; 1 = nominal).
 	sloMult float64
+	// submitDelay is the hook-injected transient submission delay in
+	// seconds (a frontend/network blip): requests arriving while it is
+	// non-zero reach their instance that much later, paying the delay in
+	// their TTFT.
+	submitDelay float64
 	// backend is the instance-fidelity backend of the running simulation
 	// (nil outside a run or in direct controller tests — the retire and
 	// reconfigure helpers tolerate that).

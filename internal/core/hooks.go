@@ -63,9 +63,10 @@ func (ct *Controls) ActiveServers() int {
 // taken instance by instance from the pool with the most GPUs in use, so
 // a multi-server outage spreads the way a rack failure would; whole
 // instances die, so a sharded fleet may lose slightly more than n*8 GPUs
-// (you cannot fail half a machine). Each killed instance's backlog is
-// lost and accounted as squashed requests; the instance is parked
-// stateOff and reaped by compactPools on the same tick. Returns the
+// (you cannot fail half a machine). Each killed instance's in-flight
+// work goes to the frontend retry path (re-routed after a backoff,
+// terminally squashed only past the retry budget); the instance is
+// parked stateOff and reaped by compactPools on the same tick. Returns the
 // number of servers failed, rounded up from the GPUs actually lost (the
 // cluster may hold fewer than asked).
 //
@@ -119,6 +120,104 @@ func (ct *Controls) RecoverServers(n int) int {
 	}
 	return recovered
 }
+
+// FailRack models a correlated failure: up to n co-located instances die
+// at once, all taken from the single pool with the most GPUs in use (one
+// "rack" hosting one placement group). Unlike FailServers, which spreads
+// victims across the cluster server by server, the whole blast radius
+// lands on one request type — the worst case for that pool's SLO. Lost
+// GPUs enter the same per-pool ledger RecoverServers drains. Returns the
+// number of instances killed.
+func (ct *Controls) FailRack(n int) int {
+	p := ct.busiestPool()
+	if p == nil {
+		return 0
+	}
+	killed := 0
+	for killed < n {
+		in := newestLive(p)
+		if in == nil {
+			break
+		}
+		ct.failedGPUs[p.Index] += in.TP.GPUs()
+		ct.killInstance(in)
+		killed++
+	}
+	return killed
+}
+
+// StraggleServers degrades up to n healthy instances to stragglers: their
+// achieved clock becomes factor × the commanded frequency (0 < factor < 1)
+// until RepairStragglers clears them. Victims are the newest healthy
+// instances cluster-wide — deterministic and independent of per-tick
+// iteration state, like outage victim choice. The degradation is invisible
+// to the controllers' plans (marginalPower prices the commanded clock);
+// they observe only its symptoms — backlog growth, capacity misses — which
+// is exactly what makes stragglers harder than crashes. Returns the number
+// of instances degraded.
+func (ct *Controls) StraggleServers(n int, factor float64) int {
+	if factor <= 0 || factor >= 1 {
+		return 0
+	}
+	made := 0
+	for made < n {
+		var victim *Instance
+		for _, p := range ct.c.pools {
+			for _, in := range p.Instances {
+				if in.state == stateOff || in.slowFactor != 1 {
+					continue
+				}
+				if victim == nil || in.ID > victim.ID {
+					victim = in
+				}
+			}
+		}
+		if victim == nil {
+			break
+		}
+		victim.slowFactor = factor
+		ct.res.Stragglers++
+		made++
+	}
+	return made
+}
+
+// RepairStragglers restores up to n straggling instances to full speed
+// (pool order, oldest first — repairs land in rack-visit order, not
+// LIFO). Returns the number repaired.
+func (ct *Controls) RepairStragglers(n int) int {
+	repaired := 0
+	for _, p := range ct.c.pools {
+		for _, in := range p.Instances {
+			if repaired >= n {
+				return repaired
+			}
+			if in.state != stateOff && in.slowFactor != 1 {
+				in.slowFactor = 1
+				repaired++
+			}
+		}
+	}
+	return repaired
+}
+
+// SetSubmitDelay adds d seconds of frontend submission latency to every
+// request arriving from this tick on (a transient network blip or
+// overloaded gateway between the frontend and the instances); 0 ends the
+// blip. The delay rides each request's SteerPenalty, so it pushes event
+// submission and fluid TTFT identically.
+func (ct *Controls) SetSubmitDelay(d float64) {
+	if d < 0 {
+		d = 0
+	}
+	if d > 0 && ct.s.submitDelay == 0 {
+		ct.res.Blips++
+	}
+	ct.s.submitDelay = d
+}
+
+// SubmitDelay returns the active frontend submission delay in seconds.
+func (ct *Controls) SubmitDelay() float64 { return ct.s.submitDelay }
 
 // SetPriceMult sets the electricity-price multiplier applied on top of
 // Options.EnergyPriceUSDPerKWh from this tick on (1 = nominal). The
@@ -180,8 +279,8 @@ func newestLive(p *Pool) *Instance {
 }
 
 // killInstance models the abrupt loss of one instance: queued work is
-// dropped (squashed, through the fidelity backend), and the instance is
-// parked for compaction.
+// handed to the frontend retry path through the fidelity backend, and
+// the instance is parked for compaction.
 func (ct *Controls) killInstance(in *Instance) {
 	in.state = stateOff
 	ct.s.retire(in, ct.now, false)

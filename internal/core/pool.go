@@ -163,6 +163,12 @@ type Instance struct {
 	backlog float64
 	// throughputFactor scales capacity during re-sharding transitions.
 	throughputFactor float64
+	// slowFactor models an injected straggler: the clock the hardware
+	// actually achieves as a fraction of the commanded frequency (thermal
+	// throttling, a flaky NVLink, a noisy neighbour). 1 = healthy. Unlike
+	// throughputFactor it is NOT reset when lifecycle timers settle — it
+	// persists until Controls.RepairStragglers clears it.
+	slowFactor float64
 	// capEst is the measured capacity estimate (req/s) derived from the
 	// engine's utilization at the current mix; it replaces the snapped
 	// per-class profile capacity once the instance has seen traffic.
@@ -208,7 +214,23 @@ func newInstance(id, pool int, tp model.TP, resident bool) *Instance {
 		state:            stateActive,
 		freqCtl:          gpu.NewFreqController(resident),
 		throughputFactor: 1,
+		slowFactor:       1,
 	}
+}
+
+// effFreq is the clock the instance actually achieves: the controller's
+// commanded frequency degraded by any injected straggler factor. Healthy
+// instances (the steady state) pay one comparison. The degraded value is
+// deliberately not snapped back onto the DVFS ladder — the perf model
+// handles continuous clocks, and snapping would erase degradation near
+// the ladder floor. Cache cardinality stays bounded because slowFactor
+// takes only the few values fault scenarios inject.
+func (in *Instance) effFreq() gpu.Freq {
+	f := in.freqCtl.Current()
+	if in.slowFactor == 1 || in.slowFactor <= 0 {
+		return f
+	}
+	return gpu.Freq(float64(f) * in.slowFactor)
 }
 
 // Active reports whether the instance can serve right now.
@@ -268,7 +290,7 @@ func (in *Instance) mixBuckets() (int, int) {
 // is memoized until TP, frequency, or a shape bucket changes.
 func (in *Instance) capacity(s *sharedState) float64 {
 	inB, outB := in.mixBuckets()
-	key := capKey{tp: in.TP, freq: in.freqCtl.Current(), inB: inB, outB: outB}
+	key := capKey{tp: in.TP, freq: in.effFreq(), inB: inB, outB: outB}
 	if !in.capValid || key != in.capKeyC {
 		in.capKeyC = key
 		in.capC = s.shapeCapacityKey(key)
@@ -398,6 +420,10 @@ func (in *Instance) marginalPower(s *sharedState) (float64, bool) {
 		return in.marginalC, in.marginalEntryC != nil
 	}
 	cls := workload.Classify(int(in.mixIn), int(in.mixOut))
+	// The profile only holds ladder frequencies, and the placement policy
+	// is the controller's plan anyway — it prices the commanded clock, not
+	// a straggler's degraded one (the controller cannot see the fault; the
+	// emergency path reacts to the resulting backlog instead).
 	e := s.prof.Entry(profile.Key{Class: cls, TP: in.TP, Freq: in.freqCtl.Current()})
 	in.marginalTick = s.curTick
 	in.marginalEntryC = e

@@ -40,15 +40,55 @@ const (
 	emergencyBacklogThreshold = 1  // seconds of backlog triggers emergency
 )
 
+// Frontend retry parameters (§IV-D failure handling). A request squashed
+// by an outage or an empty pool re-enters the router after an exponential
+// backoff in virtual time: attempt k waits retryBackoffBase * 2^(k-1)
+// seconds, capped at retryBackoffCap, and gives up for good once
+// Options.RetryBudget attempts are spent. The queue itself is bounded:
+// when a failure burst would grow it past retryQueueCap the overflow is
+// shed (Result.Shed) instead of retried — an unbounded retry queue under
+// a sustained outage is a retry storm, not resilience.
+const (
+	// DefaultRetryBudget is the retry budget withDefaults installs when
+	// Options.RetryBudget is zero.
+	DefaultRetryBudget = 3
+	// retryBackoffBase is the first attempt's backoff in virtual seconds.
+	retryBackoffBase = 1.0
+	// retryBackoffCap bounds the exponential backoff (virtual seconds).
+	retryBackoffCap = 30.0
+	// retryQueueCap bounds the pending-retry queue; overflow is shed.
+	retryQueueCap = 4096
+)
+
 // Result aggregates everything the evaluation figures need from one run.
 type Result struct {
 	Opts     Options
 	Duration float64
 
-	Requests  int
-	Squashed  int
+	// Request conservation: every routed request reaches exactly one
+	// terminal state, so Requests == Completed + Squashed + Shed holds
+	// under both fidelities and any StepJobs (fidelity tests assert it).
+	Requests  int // requests routed (counted once, at first arrival)
+	Squashed  int // terminally dropped: retry budget exhausted or undrainable at run end
 	SLOMet    int
 	Completed int
+
+	// Frontend retry accounting (§IV-D). Retried counts retry attempts
+	// scheduled (a request retried twice counts twice — Retried/Requests
+	// is the retry amplification factor); RetrySuccess counts completed
+	// requests that needed at least one retry; Shed counts requests
+	// dropped by retry-queue overflow instead of being retried.
+	Retried      int
+	RetrySuccess int
+	Shed         int
+
+	// SquashedLoad is fluid-model backlog shed in load units (fractional
+	// request-seconds of queue dropped by emergency handling or an
+	// outage). It is NOT part of the request conservation identity: fluid
+	// requests complete (with sampled latencies) in their arrival tick,
+	// so backlog carries load, not request identity. The seed code folded
+	// these units into Squashed, double-counting them against Completed.
+	SquashedLoad float64
 
 	// EnergyJ is total cluster energy; EnergyByClassJ splits it by the
 	// true class of the work served (Fig. 6's stacking).
@@ -94,9 +134,10 @@ type Result struct {
 	Emergencies                                int
 	Merges                                     int
 
-	// Injected-fault counters: instances lost to hook-driven outages and
-	// servers restored by recovery events.
-	Outages, Recoveries int
+	// Injected-fault counters: instances lost to hook-driven outages,
+	// servers restored by recovery events, instances degraded to
+	// stragglers, and submission-delay blip windows opened.
+	Outages, Recoveries, Stragglers, Blips int
 
 	// Per-true-class SLO accounting (diagnostics and Fig. 6 breakdown).
 	ClassRequests   [workload.NumClasses]int
@@ -414,6 +455,25 @@ type simulation struct {
 	// refer to them by index because the backing array may move while a
 	// tick's arrivals are still being appended.
 	reqs []workload.Request
+
+	// retryQ holds squashed requests awaiting their backoff deadline
+	// (frontend retry, §IV-D). Appends happen only in the serial phases
+	// (routing, delivery, retirement, finish), so its order — and the
+	// whole retry schedule — is deterministic for any StepJobs. Empty in
+	// steady state: drainRetries is a single length check then.
+	retryQ []retryEntry
+	// retryScratch stages the due prefix during drainRetries so
+	// re-admission may push fresh failures onto retryQ mid-drain.
+	retryScratch []retryEntry
+	// draining marks the post-horizon backend drain (finish): failures
+	// surfaced there are terminal — a retry could never be served.
+	draining bool
+}
+
+// retryEntry is one squashed request waiting out its retry backoff.
+type retryEntry struct {
+	due simclock.Time
+	req workload.Request
 }
 
 // reserve pre-sizes the scratch buffers and series so the steady-state
@@ -539,14 +599,18 @@ func (sm *simulation) step(tick int) {
 	// nothing downstream ever scans a dead instance again.
 	c.compactPools()
 
-	// Route this tick's arrivals (§IV-D predictive scheduling).
+	// Route this tick's arrivals (§IV-D predictive scheduling). Squashed
+	// requests whose retry backoff expired re-enter first: they arrived
+	// before anything in this tick.
 	sm.reqs = sm.reqs[:0]
+	sm.drainRetries(now)
 	for {
 		e, ok := sm.nextArrival(tickEnd)
 		if !ok {
 			break
 		}
 		sm.arrivals++
+		res.Requests++ // counted once per request, at first arrival
 		sm.reqs = append(sm.reqs, workload.Request{
 			ID:           sm.arrivals,
 			Tag:          e.Tag,
@@ -582,6 +646,9 @@ func (sm *simulation) step(tick int) {
 			// Over-estimates stay where they were routed: they run
 			// with sub-optimal energy but unaffected latency.
 		}
+		// An injected submission-delay blip holds every arrival at the
+		// frontend; the request pays it like a steering detour.
+		req.SteerPenalty += s.submitDelay
 		in := pool.pickInstance(s, now)
 		if in == nil {
 			// Every instance is transitioning: queue on the one
@@ -590,13 +657,12 @@ func (sm *simulation) step(tick int) {
 			in = earliestReady(pool)
 		}
 		if in == nil {
-			// Pool has nothing at all: squash (frontend retry, §IV-D).
-			req.Squashed = true
-			res.Squashed++
-			res.Requests++
-			if obs := opts.Observer; obs != nil {
-				obs.RequestDone(req, -1, -1, false)
-			}
+			// Pool has nothing at all: hand the request to the frontend
+			// retry path (§IV-D) — it re-enters the router after a
+			// backoff, or is terminally squashed once out of budget.
+			r := *req
+			sm.reqs = sm.reqs[:len(sm.reqs)-1]
+			sm.frontendFail(r, now)
 			continue
 		}
 		a := sm.assignFor(in.ID)
@@ -613,7 +679,6 @@ func (sm *simulation) step(tick int) {
 				pool.observedSince = simclock.Time(1e-9)
 			}
 		}
-		res.Requests++
 	}
 
 	// The event backend serves the tick's arrivals here (engines advance
@@ -648,6 +713,115 @@ func (sm *simulation) nextArrival(tickEnd simclock.Time) (trace.Entry, bool) {
 		return e, true
 	}
 	return trace.Entry{}, false
+}
+
+// frontendFail is the single choke point for a request that lost its
+// instance (outage drain, dead-target delivery, pool with no capacity).
+// With budget left it schedules a retry after an exponential backoff in
+// virtual time (Result.Retried); past the budget — or past the bounded
+// retry queue — the request is terminal: Squashed, or Shed on overflow.
+// Callers are all serial phases, so retry order is StepJobs-independent.
+func (sm *simulation) frontendFail(r workload.Request, now simclock.Time) {
+	if sm.draining {
+		// The run is over: a retry scheduled now could never be served,
+		// so failures surfaced by the final drain are terminal.
+		sm.res.Squashed++
+		sm.terminalDrop(r)
+		return
+	}
+	if budget := sm.opts.RetryBudget; budget > 0 && r.Retries < budget {
+		if len(sm.retryQ) < retryQueueCap {
+			r.Retries++
+			sm.res.Retried++
+			// A fresh attempt: any partial progress died with the
+			// instance. Arrival is preserved so TTFT keeps measuring
+			// from the original submission.
+			r.FirstToken, r.Finish = 0, 0
+			delay := retryBackoffBase * math.Pow(2, float64(r.Retries-1))
+			if delay > retryBackoffCap {
+				delay = retryBackoffCap
+			}
+			sm.retryQ = append(sm.retryQ, retryEntry{due: now + simclock.Time(delay), req: r})
+			return
+		}
+		// Retry queue full: shed instead of amplifying the failure burst.
+		sm.res.Shed++
+		sm.terminalDrop(r)
+		return
+	}
+	sm.res.Squashed++
+	sm.terminalDrop(r)
+}
+
+// terminalDrop marks a request terminally squashed and tells the observer.
+func (sm *simulation) terminalDrop(r workload.Request) {
+	r.Squashed = true
+	if obs := sm.opts.Observer; obs != nil {
+		obs.RequestDone(&r, -1, -1, false)
+	}
+}
+
+// drainRetries re-admits every queued retry whose backoff expired. In
+// steady state the queue is empty and this is one length check (the
+// zero-allocation tick invariant covers it). Entries re-enter in queue
+// order — the order they failed in — so the schedule is deterministic.
+func (sm *simulation) drainRetries(now simclock.Time) {
+	if len(sm.retryQ) == 0 {
+		return
+	}
+	sm.retryScratch = sm.retryScratch[:0]
+	kept := sm.retryQ[:0]
+	for _, e := range sm.retryQ {
+		if e.due > now {
+			kept = append(kept, e)
+			continue
+		}
+		sm.retryScratch = append(sm.retryScratch, e)
+	}
+	sm.retryQ = kept
+	for i := range sm.retryScratch {
+		sm.readmit(sm.retryScratch[i].req, now)
+	}
+}
+
+// readmit routes one retry attempt. The request keeps its predicted class
+// and steering penalty (misprediction was already handled on the first
+// attempt) and does not recount in Result.Requests; it does feed the
+// rate/mix estimators like any other admission, because a retry is real
+// load. A failed re-admission goes straight back through frontendFail.
+func (sm *simulation) readmit(r workload.Request, now simclock.Time) {
+	c, s := sm.c, sm.s
+	// Time already burned between the original arrival and this attempt;
+	// the fluid latency model adds it to the sampled TTFT.
+	r.RetryDelay = float64(now - r.Arrival)
+	if r.RetryDelay < 0 {
+		r.RetryDelay = 0
+	}
+	pool := c.route(&r, now)
+	in := pool.pickInstance(s, now)
+	if in == nil {
+		in = earliestReady(pool)
+	}
+	if in == nil {
+		sm.frontendFail(r, now)
+		return
+	}
+	sm.reqs = append(sm.reqs, r)
+	req := &sm.reqs[len(sm.reqs)-1]
+	a := sm.assignFor(in.ID)
+	a.n++
+	a.inTok += float64(r.InputTokens)
+	a.outTok += float64(r.OutputTokens)
+	a.reqs = append(a.reqs, int32(len(sm.reqs)-1))
+	in.tickAssigned++
+	s.backend.Admit(in, req, now)
+	pool.arrivalsThisTick++
+	if pool.observedSince == 0 {
+		pool.observedSince = now
+		if pool.observedSince == 0 {
+			pool.observedSince = simclock.Time(1e-9)
+		}
+	}
 }
 
 // accountTick closes one tick: per-instance rate updates, instance
@@ -694,7 +868,7 @@ func (sm *simulation) accountTick(now simclock.Time) {
 			perGPU := watts / float64(in.TP.GPUs())
 			res.GPUPowerW.Add(perGPU)
 			poolGPUs[tpIdx(in.TP)] += float64(in.TP.GPUs())
-			pFreqNum += float64(in.freqCtl.Current()) * float64(in.TP.GPUs())
+			pFreqNum += float64(in.effFreq()) * float64(in.TP.GPUs())
 			pFreqDen += float64(in.TP.GPUs())
 
 			// Attribute energy to classes by served mix.
@@ -740,7 +914,16 @@ func (sm *simulation) accountTick(now simclock.Time) {
 // finish closes out the run-level aggregates.
 func (sm *simulation) finish() {
 	res := sm.res
+	sm.draining = true
 	sm.s.backend.Finish(simclock.Time(res.Duration))
+	// Retries still waiting out their backoff when the run ends can never
+	// be served: they are terminally squashed so the conservation
+	// identity closes.
+	for i := range sm.retryQ {
+		res.Squashed++
+		sm.terminalDrop(sm.retryQ[i].req)
+	}
+	sm.retryQ = sm.retryQ[:0]
 	res.AvgServers = res.GPUSeconds / 8 / res.Duration
 	res.FreqChanges = sm.c.retiredFreqSets
 	for _, p := range sm.c.pools {
@@ -915,7 +1098,7 @@ func steadyKeyFor(tp model.TP, f gpu.Freq, rate, inTok, outTok float64) steadyKe
 // revalidates by key, so the shared (rate, shape)-grid cache is consulted
 // only when the instance moves to a new bucket.
 func (c *Cluster) instanceSteady(in *Instance) perfmodel.Steady {
-	key := steadyKeyFor(in.TP, in.freqCtl.Current(), in.rate,
+	key := steadyKeyFor(in.TP, in.effFreq(), in.rate,
 		avgOr(in.mixIn, 512), avgOr(in.mixOut, 200))
 	if in.stValid && key == in.stKeyC {
 		return in.stC
@@ -993,14 +1176,18 @@ func (c *Cluster) instanceManager(in *Instance, now simclock.Time, res *Result) 
 			in.backlog -= shed
 			target.backlog += shed
 		} else {
-			// Squash only the backlog portion whose projected wait
+			// Shed only the backlog portion whose projected wait
 			// (draining at full capacity) still exceeds the threshold.
+			// Fluid backlog is load (fractional request-seconds), not
+			// request identity — the requests behind it were already
+			// sampled as Completed in their arrival tick — so the loss
+			// lands in SquashedLoad, outside the request-count ledger.
 			slo := workload.SLOFor(cls).TTFT * c.opts.SLOScale
 			cap := in.capacity(s)
 			overdue := in.backlog - math.Max(cap, 0.2)*slo*squashWaitFactor
 			if overdue > 0 {
 				in.backlog -= overdue
-				res.Squashed += int(overdue)
+				res.SquashedLoad += overdue
 			}
 		}
 		return
@@ -1034,13 +1221,16 @@ func (sm *simulation) sampleLatencies(in *Instance, st perfmodel.Steady, reqIdx 
 		// Overloaded instance: it still serves, at its capacity point,
 		// with the excess showing up as backlog-driven queueing below.
 		capRate := in.capacity(c.shared) * 0.9
-		st = c.steadyLookup(steadyKeyFor(in.TP, in.freqCtl.Current(),
+		st = c.steadyLookup(steadyKeyFor(in.TP, in.effFreq(),
 			math.Max(capRate, 0.01), avgOr(in.mixIn, 512), avgOr(in.mixOut, 200)))
 	}
 	obs := sm.opts.Observer
 	for _, ri := range reqIdx {
 		req := &sm.reqs[ri]
 		res.Completed++
+		if req.Retries > 0 {
+			res.RetrySuccess++
+		}
 		if st.IterTime == 0 {
 			res.TTFT.Add(req.SLO().TTFT * 3)
 			res.TBT.Add(req.SLO().TBT * 2)
@@ -1066,7 +1256,10 @@ func (sm *simulation) sampleLatencies(in *Instance, st perfmodel.Steady, reqIdx 
 		if u > 0.9 {
 			tail = 1 + (u-0.9)/0.09*2.2 // up to ~3.2x at P99+
 		}
-		ttft := base + wait*tail + req.SteerPenalty
+		// RetryDelay charges the whole pre-retry history (backoff plus
+		// failed attempts) so the SLO judgement below measures TTFT from
+		// the ORIGINAL arrival, not the latest re-admission.
+		ttft := base + wait*tail + req.SteerPenalty + req.RetryDelay
 		// TBT: mean iteration time; the tail sees chunk-carrying
 		// iterations.
 		tbt := st.TBTMean * (0.92 + 0.16*rng.Float64())
@@ -1271,7 +1464,7 @@ func (c *Cluster) earliestOrAny(p *Pool) *Instance {
 		return in
 	}
 	if c.steadyProbe == nil {
-		c.steadyProbe = &Instance{TP: model.TP8, freqCtl: gpu.NewFreqController(true), throughputFactor: 1, mixIn: 512, mixOut: 187}
+		c.steadyProbe = &Instance{TP: model.TP8, freqCtl: gpu.NewFreqController(true), throughputFactor: 1, slowFactor: 1, mixIn: 512, mixOut: 187}
 	}
 	return c.steadyProbe
 }

@@ -36,3 +36,38 @@ func benchRun(b *testing.B, system string) {
 func BenchmarkTickLoopSinglePool(b *testing.B) { benchRun(b, "singlepool") }
 
 func BenchmarkTickLoopDynamoLLM(b *testing.B) { benchRun(b, "dynamollm") }
+
+// BenchmarkTickLoopRetry measures the tick loop with the frontend retry
+// path hot: server failures mid-window squash in-flight work, which
+// re-enters through the retry queue and is served after recovery. Event
+// fidelity, because only engine-held requests are individually killed
+// and readmitted (the fluid model resolves outage backlog in aggregate).
+func BenchmarkTickLoopRetry(b *testing.B) {
+	repo := profile.NewRepository(nil)
+	tr := trace.OpenSourceHour(45, 11).Window(0, 900)
+	opts, _ := SystemByName("dynamollm")
+	opts.Seed = 7
+	opts.Fidelity = FidelityEvent
+	opts.WarmLoad = warmConv
+	hook := func() TickHook {
+		return NewTimeline([]TimelineEvent{
+			{At: 200, Do: func(ctl *Controls) { ctl.FailServers(2) }},
+			{At: 400, Do: func(ctl *Controls) { ctl.RecoverServers(2) }},
+			{At: 600, Do: func(ctl *Controls) { ctl.FailServers(2) }},
+			{At: 700, Do: func(ctl *Controls) { ctl.RecoverServers(2) }},
+		})
+	}
+	opts.Hook = hook()
+	if res := RunWithRepo(tr, opts, repo); res.Retried == 0 {
+		b.Fatal("retry path not exercised")
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		opts.Hook = hook() // timelines carry cursor state: fresh per run
+		res := RunWithRepo(tr, opts, repo)
+		if res.Requests == 0 {
+			b.Fatal("empty run")
+		}
+	}
+}

@@ -80,15 +80,16 @@ func cloneSimulation(sm *simulation) *simulation {
 
 	rng := *s.rng
 	ns := &sharedState{
-		opts:      s.opts,
-		prof:      s.prof, // immutable after profiling
-		loadPred:  s.loadPred.Clone(),
-		lenPred:   s.lenPred.Clone(),
-		rng:       &rng,
-		nextID:    s.nextID,
-		curTick:   s.curTick,
-		priceMult: s.priceMult,
-		sloMult:   s.sloMult,
+		opts:        s.opts,
+		prof:        s.prof, // immutable after profiling
+		loadPred:    s.loadPred.Clone(),
+		lenPred:     s.lenPred.Clone(),
+		rng:         &rng,
+		nextID:      s.nextID,
+		curTick:     s.curTick,
+		priceMult:   s.priceMult,
+		sloMult:     s.sloMult,
+		submitDelay: s.submitDelay,
 	}
 
 	c := sm.c
@@ -127,6 +128,7 @@ func cloneSimulation(sm *simulation) *simulation {
 		injected:         append([]trace.Entry(nil), sm.injected...),
 		injIdx:           sm.injIdx,
 		arrivals:         sm.arrivals,
+		retryQ:           append([]retryEntry(nil), sm.retryQ...),
 		ctl: &Controls{
 			c: nc, s: ns, res: nr,
 			failedGPUs: append([]int(nil), sm.ctl.failedGPUs...),

@@ -79,7 +79,7 @@ func (c Config) ScenarioRuns(scs []*scenario.Scenario, systems []string) ([]Scen
 			sc := sc
 			opts := sub.mustSystemOptions(name, func(o *core.Options) {
 				o.WarmLoad = sub.warm(svc, sc.Start())
-				o.Hook = sc.Hook() // fresh per simulation
+				o.Hook = sc.Hook(scenarioSeed(c.Seed, sc.Name)) // fresh per simulation
 				if servers > 0 {
 					o.Servers = servers
 				}

@@ -63,6 +63,25 @@ func Library() []*Scenario {
 			},
 		},
 		{
+			Name:        "chaos-monkey",
+			Description: "stochastic MTBF-driven crashes plus a correlated rack failure, a straggler window, and a frontend blip",
+			Service:     "conversation",
+			StartHours:  32, // Tuesday 08:00
+			Days:        0.25,
+			Events: []Event{
+				// Random single-server crashes (mean one per 1.5 h, mean
+				// repair 45 min) over the whole window; the concrete
+				// instants come from the seeded FaultPlan expansion.
+				{Kind: Faults, AtHours: 0, DurationHours: 6, MTBFHours: 1.5, RepairHours: 0.75},
+				// A placement group loses two co-located instances at once.
+				{Kind: Rack, AtHours: 2, Servers: 2, RepairHours: 1},
+				// Two instances throttle to 60% clock for an hour.
+				{Kind: Straggler, AtHours: 3, DurationHours: 1, Servers: 2, SlowFactor: 0.6},
+				// A 15-minute frontend blip adds 2 s of submission delay.
+				{Kind: Blip, AtHours: 4.5, DurationHours: 0.25, DelaySeconds: 2},
+			},
+		},
+		{
 			Name:        "mixed-week",
 			Description: "a week on the Coding service with everything at once: SLO crunch, flash crowd, agent-launch mix shift, rack outage, weekend price surge",
 			Service:     "coding",

@@ -9,13 +9,16 @@
 // (Load/LoadFile). Its events split into two groups at compile time:
 // trace-level events (spike, mix-shift) become composable trace.Modifier
 // transforms applied before the simulation starts, and runtime events
-// (outage, recovery, price, slo) become a core.Timeline hook that fires
-// inside the tick loop through the core.Controls facade without
-// disturbing its zero-allocation steady state.
+// (outage, recovery, rack, straggler, blip, price, slo) become a
+// core.Timeline hook that fires inside the tick loop through the
+// core.Controls facade without disturbing its zero-allocation steady
+// state. The stochastic faults kind sits in between: ExpandFaults draws
+// its MTBF-driven crashes and repairs into a concrete, seeded FaultPlan
+// before the hook is compiled, so fault runs replay exactly.
 //
 // Library returns the named built-in scenarios (flashcrowd, blackfriday,
-// gpu-failures, price-surge, slo-crunch, mixed-week) that the
-// `dynamobench scenario` command and the expt scenario sweep drive.
+// gpu-failures, price-surge, slo-crunch, mixed-week, chaos-monkey) that
+// the `dynamobench scenario` command and the expt scenario sweep drive.
 package scenario
 
 import (
@@ -54,6 +57,27 @@ const (
 	// SLO scales request SLOs by SLOFactor for the event window
 	// (values below 1 tighten).
 	SLO Kind = "slo"
+
+	// Faults is the stochastic fault injector: over the event window,
+	// instance crashes arrive as a Poisson process with mean time between
+	// failures MTBFHours; each crash fails Servers servers (default 1)
+	// and schedules its recovery an Exp(RepairHours)-distributed delay
+	// later. ExpandFaults draws the concrete crash/repair instants from a
+	// seed, so a FaultPlan is reproducible and independent of simulation
+	// parallelism.
+	Faults Kind = "faults"
+	// Rack is a correlated failure: Servers co-located instances (one
+	// placement group, all serving the same request type) die at the
+	// event time. RepairHours > 0 schedules the matching recovery.
+	Rack Kind = "rack"
+	// Straggler degrades Servers instances to SlowFactor of their
+	// commanded clock for the event window, then repairs them. The
+	// controllers never see the fault directly — only its symptoms.
+	Straggler Kind = "straggler"
+	// Blip adds DelaySeconds of frontend submission latency for the
+	// event window — a transient network or gateway slowdown between the
+	// frontend and the instances.
+	Blip Kind = "blip"
 )
 
 // Event is one injected condition on the scenario timeline. Times are in
@@ -87,6 +111,15 @@ type Event struct {
 	PriceMult float64 `json:"price_mult,omitempty"`
 	// SLOFactor scales the SLOs inside an slo event's window.
 	SLOFactor float64 `json:"slo_factor,omitempty"`
+	// MTBFHours is a faults event's mean time between crashes.
+	MTBFHours float64 `json:"mtbf_hours,omitempty"`
+	// RepairHours is the mean crash-to-recovery delay of a faults event,
+	// or the fixed repair delay of a rack event (0 = never repaired).
+	RepairHours float64 `json:"repair_hours,omitempty"`
+	// SlowFactor is a straggler's achieved-clock fraction, in (0, 1).
+	SlowFactor float64 `json:"slow_factor,omitempty"`
+	// DelaySeconds is a blip's added frontend submission latency.
+	DelaySeconds float64 `json:"delay_seconds,omitempty"`
 }
 
 // window returns the event's [from, to) in simulation seconds.
@@ -101,7 +134,7 @@ func (e Event) window() (from, to simclock.Time) {
 // starts. Only runtime kinds can be injected into a live serving session.
 func (k Kind) Runtime() bool {
 	switch k {
-	case Outage, Recovery, Price, SLO:
+	case Outage, Recovery, Price, SLO, Faults, Rack, Straggler, Blip:
 		return true
 	}
 	return false
@@ -146,6 +179,40 @@ func ValidateEvent(e Event) error {
 	case SLO:
 		if e.SLOFactor <= 0 {
 			return fmt.Errorf("slo_factor must be positive")
+		}
+		if e.DurationHours <= 0 {
+			return fmt.Errorf("duration_hours must be positive")
+		}
+	case Faults:
+		if e.MTBFHours <= 0 {
+			return fmt.Errorf("mtbf_hours must be positive")
+		}
+		if e.RepairHours <= 0 {
+			return fmt.Errorf("repair_hours must be positive")
+		}
+		if e.DurationHours <= 0 {
+			return fmt.Errorf("duration_hours must be positive")
+		}
+	case Rack:
+		if e.Servers <= 0 {
+			return fmt.Errorf("servers must be positive")
+		}
+		if e.RepairHours < 0 {
+			return fmt.Errorf("repair_hours must not be negative")
+		}
+	case Straggler:
+		if e.Servers <= 0 {
+			return fmt.Errorf("servers must be positive")
+		}
+		if e.SlowFactor <= 0 || e.SlowFactor >= 1 {
+			return fmt.Errorf("slow_factor must be in (0, 1)")
+		}
+		if e.DurationHours <= 0 {
+			return fmt.Errorf("duration_hours must be positive")
+		}
+	case Blip:
+		if e.DelaySeconds <= 0 {
+			return fmt.Errorf("delay_seconds must be positive")
 		}
 		if e.DurationHours <= 0 {
 			return fmt.Errorf("duration_hours must be positive")
@@ -307,25 +374,103 @@ func (s *Scenario) ApplyTrace(tr trace.Trace, seed uint64) trace.Trace {
 	return trace.Compose(mods...)(tr)
 }
 
-// Hook compiles the scenario's runtime events (outages, recoveries,
-// price signals, SLO windows) into a core.Timeline tick hook, or nil if
-// there are none. Every call returns a fresh hook: a Timeline carries
-// per-run cursor state and must never be shared between simulations.
-func (s *Scenario) Hook() core.TickHook {
-	events := RuntimeTimeline(s.Events, 0)
+// Hook compiles the scenario's runtime events (outages, recoveries, rack
+// failures, stragglers, blips, price signals, SLO windows) into a
+// core.Timeline tick hook, or nil if there are none. Stochastic faults
+// events are first expanded into concrete crash/repair instants with the
+// seed (see ExpandFaults), so the same (scenario, seed) always yields the
+// same hook. Every call returns a fresh hook: a Timeline carries per-run
+// cursor state and must never be shared between simulations.
+func (s *Scenario) Hook(seed uint64) core.TickHook {
+	events := RuntimeTimeline(expandedEvents(s.Events, s.Days*24, seed), 0)
 	if len(events) == 0 {
 		return nil
 	}
 	return core.NewTimeline(events)
 }
 
+// expandedEvents returns the timeline with every stochastic faults event
+// replaced by its seeded concrete expansion; timelines without faults
+// events are returned unchanged (same backing array).
+func expandedEvents(timeline []Event, horizonHours float64, seed uint64) []Event {
+	plan := ExpandFaults(timeline, horizonHours, seed)
+	if len(plan.Events) == 0 {
+		return timeline
+	}
+	merged := make([]Event, 0, len(timeline)+len(plan.Events))
+	for _, e := range timeline {
+		if e.Kind != Faults { // replaced by the expansion
+			merged = append(merged, e)
+		}
+	}
+	return append(merged, plan.Events...)
+}
+
+// FaultPlan is the concrete, seed-deterministic expansion of a timeline's
+// stochastic faults events: every crash and its matching recovery pinned
+// to an instant. Expanding once, before the simulation starts, is what
+// makes fault runs replayable — the plan depends only on (timeline,
+// horizon, seed), never on fidelity, parallelism, or tick order.
+type FaultPlan struct {
+	// Seed is the seed the plan was drawn from.
+	Seed uint64 `json:"seed"`
+	// Events are concrete outage/recovery events, sorted by time.
+	Events []Event `json:"events,omitempty"`
+}
+
+// ExpandFaults draws the stochastic faults events of a timeline into a
+// concrete FaultPlan. Crashes arrive as a Poisson process (exponential
+// gaps, mean MTBFHours) inside each event's window; each crash fails
+// Servers servers (default 1) and is followed by a recovery after an
+// exponential repair delay (mean RepairHours), dropped when it would land
+// past horizonHours. Each faults event draws from its own RNG stream
+// derived from (seed, event index), so adding or editing one event never
+// reshuffles another's instants.
+func ExpandFaults(timeline []Event, horizonHours float64, seed uint64) FaultPlan {
+	plan := FaultPlan{Seed: seed}
+	for i, e := range timeline {
+		if e.Kind != Faults {
+			continue
+		}
+		rng := simclock.NewRNG(seed ^ (uint64(i+1) * 0x9e3779b97f4a7c15))
+		servers := e.Servers
+		if servers <= 0 {
+			servers = 1
+		}
+		to := e.AtHours + e.DurationHours
+		if horizonHours > 0 && to > horizonHours {
+			to = horizonHours
+		}
+		for t := e.AtHours + rng.Exp(1/e.MTBFHours); t < to; t += rng.Exp(1 / e.MTBFHours) {
+			plan.Events = append(plan.Events, Event{Kind: Outage, AtHours: t, Servers: servers})
+			repair := t + rng.Exp(1/e.RepairHours)
+			if horizonHours <= 0 || repair < horizonHours {
+				plan.Events = append(plan.Events, Event{Kind: Recovery, AtHours: repair, Servers: servers})
+			}
+		}
+	}
+	sort.SliceStable(plan.Events, func(i, j int) bool {
+		return plan.Events[i].AtHours < plan.Events[j].AtHours
+	})
+	return plan
+}
+
+// FaultPlan expands the scenario's stochastic faults events against its
+// own trace horizon.
+func (s *Scenario) FaultPlan(seed uint64) FaultPlan {
+	return ExpandFaults(s.Events, s.Days*24, seed)
+}
+
 // RuntimeTimeline compiles the runtime-kind events of a timeline (outage,
-// recovery, price, slo) into core timeline events, each firing through
-// the Controls facade at offset plus its scheduled instant. Trace-level
-// kinds (spike, mix-shift) are skipped: they rewrite arrivals before a
-// simulation starts and have no runtime form. The offset lets the live
-// serving session schedule an operator-posted timeline relative to the
-// current virtual time instead of the trace start.
+// recovery, rack, straggler, blip, price, slo) into core timeline events,
+// each firing through the Controls facade at offset plus its scheduled
+// instant. Trace-level kinds (spike, mix-shift) are skipped: they rewrite
+// arrivals before a simulation starts and have no runtime form. Faults
+// events are skipped too — they are stochastic and must be expanded into
+// concrete outages and recoveries first (ExpandFaults; Scenario.Hook and
+// the live session's injector both do). The offset lets the live serving
+// session schedule an operator-posted timeline relative to the current
+// virtual time instead of the trace start.
 //
 // Price and SLO windows may overlap or abut; at any instant the value in
 // force is that of the most recently started window still open (1 when
@@ -334,7 +479,7 @@ func (s *Scenario) Hook() core.TickHook {
 // running.
 func RuntimeTimeline(timeline []Event, offset simclock.Time) []core.TimelineEvent {
 	var events []core.TimelineEvent
-	var priceWins, sloWins []valueWindow
+	var priceWins, sloWins, delayWins []valueWindow
 	for _, e := range timeline {
 		e := e
 		from, to := e.window()
@@ -345,14 +490,30 @@ func RuntimeTimeline(timeline []Event, offset simclock.Time) []core.TimelineEven
 		case Recovery:
 			events = append(events, core.TimelineEvent{At: from,
 				Do: func(ctl *core.Controls) { ctl.RecoverServers(e.Servers) }})
+		case Rack:
+			events = append(events, core.TimelineEvent{At: from,
+				Do: func(ctl *core.Controls) { ctl.FailRack(e.Servers) }})
+			if e.RepairHours > 0 {
+				repairAt := from + simclock.Time(e.RepairHours*3600)
+				events = append(events, core.TimelineEvent{At: repairAt,
+					Do: func(ctl *core.Controls) { ctl.RecoverServers(e.Servers) }})
+			}
+		case Straggler:
+			events = append(events, core.TimelineEvent{At: from,
+				Do: func(ctl *core.Controls) { ctl.StraggleServers(e.Servers, e.SlowFactor) }})
+			events = append(events, core.TimelineEvent{At: to,
+				Do: func(ctl *core.Controls) { ctl.RepairStragglers(e.Servers) }})
+		case Blip:
+			delayWins = append(delayWins, valueWindow{from: from, to: to, val: e.DelaySeconds})
 		case Price:
 			priceWins = append(priceWins, valueWindow{from: from, to: to, val: e.PriceMult})
 		case SLO:
 			sloWins = append(sloWins, valueWindow{from: from, to: to, val: e.SLOFactor})
 		}
 	}
-	events = append(events, boundaryEvents(priceWins, (*core.Controls).SetPriceMult)...)
-	events = append(events, boundaryEvents(sloWins, (*core.Controls).SetSLOFactor)...)
+	events = append(events, boundaryEvents(priceWins, 1, (*core.Controls).SetPriceMult)...)
+	events = append(events, boundaryEvents(sloWins, 1, (*core.Controls).SetSLOFactor)...)
+	events = append(events, boundaryEvents(delayWins, 0, (*core.Controls).SetSubmitDelay)...)
 	if offset != 0 {
 		for i := range events {
 			events[i].At += offset
@@ -361,18 +522,19 @@ func RuntimeTimeline(timeline []Event, offset simclock.Time) []core.TimelineEven
 	return events
 }
 
-// valueWindow is a half-open [from, to) interval during which a price or
-// SLO multiplier holds.
+// valueWindow is a half-open [from, to) interval during which a price,
+// SLO, or submission-delay value holds.
 type valueWindow struct {
 	from, to simclock.Time
 	val      float64
 }
 
-// activeValue returns the multiplier in force at t: the value of the
-// most recently started window containing t (ties broken by list order,
-// later wins), or 1 when no window is open.
-func activeValue(ws []valueWindow, t simclock.Time) float64 {
-	v := 1.0
+// activeValue returns the value in force at t: the value of the most
+// recently started window containing t (ties broken by list order, later
+// wins), or def when no window is open (1 for multipliers, 0 for the
+// additive submission delay).
+func activeValue(ws []valueWindow, t simclock.Time, def float64) float64 {
+	v := def
 	started := simclock.Time(math.Inf(-1))
 	for _, w := range ws {
 		if w.from <= t && t < w.to && w.from >= started {
@@ -385,7 +547,7 @@ func activeValue(ws []valueWindow, t simclock.Time) float64 {
 // boundaryEvents compiles value windows into timeline events: one event
 // per boundary where the active value changes, each setting the value
 // that holds from that instant on.
-func boundaryEvents(ws []valueWindow, set func(*core.Controls, float64)) []core.TimelineEvent {
+func boundaryEvents(ws []valueWindow, def float64, set func(*core.Controls, float64)) []core.TimelineEvent {
 	if len(ws) == 0 {
 		return nil
 	}
@@ -395,12 +557,12 @@ func boundaryEvents(ws []valueWindow, set func(*core.Controls, float64)) []core.
 	}
 	sort.Slice(bounds, func(i, j int) bool { return bounds[i] < bounds[j] })
 	var out []core.TimelineEvent
-	prev := 1.0
+	prev := def
 	for i, t := range bounds {
 		if i > 0 && t == bounds[i-1] {
 			continue
 		}
-		v := activeValue(ws, t) // fresh per iteration; safe to capture
+		v := activeValue(ws, t, def) // fresh per iteration; safe to capture
 		if v == prev {
 			continue
 		}

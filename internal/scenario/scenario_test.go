@@ -146,7 +146,7 @@ func TestLoadJSON(t *testing.T) {
 	if s.Name != "custom" || len(s.Events) != 6 {
 		t.Fatalf("bad parse: %+v", s)
 	}
-	if s.Hook() == nil {
+	if s.Hook(7) == nil {
 		t.Error("runtime events should compile to a hook")
 	}
 
@@ -169,14 +169,14 @@ func TestLoadJSON(t *testing.T) {
 
 func TestHookFreshPerCall(t *testing.T) {
 	s, _ := ByName("gpu-failures")
-	a, b := s.Hook(), s.Hook()
+	a, b := s.Hook(7), s.Hook(7)
 	if a == nil || b == nil {
 		t.Fatal("gpu-failures must produce a runtime hook")
 	}
 	if a == b {
 		t.Error("Hook() returned a shared instance; timelines carry per-run state")
 	}
-	if f, _ := ByName("flashcrowd"); f.Hook() != nil {
+	if f, _ := ByName("flashcrowd"); f.Hook(7) != nil {
 		t.Error("flashcrowd has no runtime events; Hook should be nil")
 	}
 }
@@ -195,7 +195,7 @@ func TestOutageScenarioEndToEnd(t *testing.T) {
 	}
 	opts, _ := core.SystemByName("singlepool")
 	opts.Seed = 7
-	opts.Hook = s.Hook()
+	opts.Hook = s.Hook(7)
 	res := core.Run(tr, opts)
 	if res.Outages == 0 {
 		t.Error("outage scenario produced no Outages")
@@ -239,7 +239,7 @@ func TestPriceScenarioEndToEnd(t *testing.T) {
 	}
 	opts, _ := core.SystemByName("singlepool")
 	opts.Seed = 7
-	opts.Hook = s.Hook()
+	opts.Hook = s.Hook(7)
 	res := core.Run(tr, opts)
 
 	optsPlain, _ := core.SystemByName("singlepool")
@@ -275,7 +275,7 @@ func TestSLOScenarioEndToEnd(t *testing.T) {
 		opts.Hook = hook
 		return core.Run(tr, opts)
 	}
-	crunched := run(s.Hook())
+	crunched := run(s.Hook(7))
 	nominal := run(nil)
 	if crunched.SLOAttainment() >= nominal.SLOAttainment() {
 		t.Errorf("SLO crunch did not lower a DVFS system's attainment: %.3f >= %.3f",
@@ -354,13 +354,13 @@ func TestWindowCompilation(t *testing.T) {
 		{29.9, 2}, {30, 1},
 	}
 	for _, tc := range cases {
-		if got := activeValue(wins, h(tc.atHours)); got != tc.want {
+		if got := activeValue(wins, h(tc.atHours), 1); got != tc.want {
 			t.Errorf("activeValue at %vh = %v, want %v", tc.atHours, got, tc.want)
 		}
 	}
 
 	var fired []float64
-	evs := boundaryEvents(wins, func(_ *core.Controls, v float64) { fired = append(fired, v) })
+	evs := boundaryEvents(wins, 1, func(_ *core.Controls, v float64) { fired = append(fired, v) })
 	for i, e := range evs {
 		if i > 0 && e.At < evs[i-1].At {
 			t.Fatalf("boundary events out of order")

@@ -1,0 +1,297 @@
+package serve
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"dynamollm/internal/simclock"
+	"dynamollm/internal/trace"
+)
+
+// Crash durability. The simulation itself is deterministic: given the base
+// trace, the options, and the set of injected arrivals, replaying from
+// virtual zero reproduces the exact pre-crash state. So the durable record
+// is small — a write-ahead log of every acked injection (synced before the
+// ack leaves the process) plus a periodic checkpoint of the session's
+// progress marker (how far virtual time got, the next tag). Restore
+// rebuilds the session from its configuration, re-injects the WAL at the
+// original virtual instants, fast-forwards to the checkpointed boundary,
+// and resumes the pacer from there. Requests acked after the last
+// checkpoint are still in the WAL and simply land in the session's future.
+
+// CheckpointFile is the on-disk checkpoint: enough to rebuild an identical
+// session (via Meta, the caller's own flags) plus the progress marker the
+// replay fast-forwards to.
+type CheckpointFile struct {
+	Version          int               `json:"version"`
+	System           string            `json:"system"`
+	Seed             uint64            `json:"seed"`
+	Speed            float64           `json:"speed"`
+	Fidelity         string            `json:"fidelity"`
+	Loop             bool              `json:"loop"`
+	BoundaryVirtualS float64           `json:"boundary_virtual_s"`
+	NextTag          uint64            `json:"next_tag"`
+	Loops            int               `json:"trace_loops"`
+	Meta             map[string]string `json:"meta,omitempty"`
+}
+
+const checkpointVersion = 1
+
+func checkpointPath(dir string) string { return filepath.Join(dir, "checkpoint.json") }
+func walPath(dir string) string        { return filepath.Join(dir, "wal.jsonl") }
+
+// ReadCheckpoint loads the checkpoint from a state directory.
+// cmd/dynamoserve reads it before Restore to reconstruct the session
+// configuration (system, seed, speed, fidelity, loop, and its own Meta).
+func ReadCheckpoint(dir string) (*CheckpointFile, error) {
+	data, err := os.ReadFile(checkpointPath(dir))
+	if err != nil {
+		return nil, err
+	}
+	var ck CheckpointFile
+	if err := json.Unmarshal(data, &ck); err != nil {
+		return nil, fmt.Errorf("checkpoint %s: %w", checkpointPath(dir), err)
+	}
+	if ck.Version != checkpointVersion {
+		return nil, fmt.Errorf("checkpoint %s: version %d, want %d", checkpointPath(dir), ck.Version, checkpointVersion)
+	}
+	return &ck, nil
+}
+
+// writeCheckpoint atomically replaces the checkpoint: write a temp file,
+// sync it, then rename over the old one, so a crash mid-write leaves the
+// previous checkpoint intact.
+func writeCheckpoint(dir string, ck CheckpointFile) error {
+	data, err := json.MarshalIndent(ck, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	tmp := checkpointPath(dir) + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp, checkpointPath(dir))
+}
+
+// checkpointLocked writes the current progress marker. Caller holds mu.
+func (s *Session) checkpointLocked() error {
+	ck := CheckpointFile{
+		Version:          checkpointVersion,
+		System:           s.cfg.Name,
+		Seed:             s.cfg.Opts.Seed,
+		Speed:            s.cfg.Speed,
+		Fidelity:         s.live.Options().Fidelity.String(),
+		Loop:             s.cfg.Loop,
+		BoundaryVirtualS: float64(s.live.Boundary()),
+		NextTag:          s.nextTag,
+		Loops:            s.loops,
+		Meta:             s.cfg.Meta,
+	}
+	if err := writeCheckpoint(s.cfg.StateDir, ck); err != nil {
+		return err
+	}
+	s.lastCkptAt = s.live.Boundary()
+	return nil
+}
+
+// --- Write-ahead log ---------------------------------------------------------
+
+// walEntry is one acked injection, as a JSON line.
+type walEntry struct {
+	Tag uint64  `json:"tag"`
+	At  float64 `json:"at"`
+	In  int     `json:"in"`
+	Out int     `json:"out"`
+}
+
+// walFile appends acked injections; every append is synced before it
+// returns, because Inject acks only after the entry is durable.
+type walFile struct {
+	f *os.File
+}
+
+func openWAL(dir string, truncate bool) (*walFile, error) {
+	flags := os.O_WRONLY | os.O_CREATE | os.O_APPEND
+	if truncate {
+		flags |= os.O_TRUNC
+	}
+	f, err := os.OpenFile(walPath(dir), flags, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	return &walFile{f: f}, nil
+}
+
+func (w *walFile) append(e trace.Entry) error {
+	data, err := json.Marshal(walEntry{Tag: e.Tag, At: float64(e.At), In: e.InputTokens, Out: e.OutputTokens})
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if _, err := w.f.Write(data); err != nil {
+		return err
+	}
+	return w.f.Sync()
+}
+
+func (w *walFile) close() {
+	w.f.Close()
+}
+
+// readWAL parses the log back into trace entries. A torn final line (the
+// process died mid-write, before the ack) is skipped: the client never got
+// an ack for it, so dropping it is correct. A malformed line anywhere else
+// is real corruption and errors out.
+func readWAL(dir string) ([]trace.Entry, uint64, error) {
+	f, err := os.Open(walPath(dir))
+	if err != nil {
+		if errors.Is(err, os.ErrNotExist) {
+			return nil, 0, nil
+		}
+		return nil, 0, err
+	}
+	defer f.Close()
+	var (
+		entries []trace.Entry
+		maxTag  uint64
+		badLine error
+	)
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	line := 0
+	for sc.Scan() {
+		line++
+		if badLine != nil {
+			// A parse failure followed by more lines is corruption, not a
+			// torn tail.
+			return nil, 0, badLine
+		}
+		raw := sc.Bytes()
+		if len(raw) == 0 {
+			continue
+		}
+		var e walEntry
+		if err := json.Unmarshal(raw, &e); err != nil {
+			badLine = fmt.Errorf("wal %s line %d: %w", walPath(dir), line, err)
+			continue
+		}
+		entries = append(entries, trace.Entry{
+			At:           simclock.Time(e.At),
+			Tag:          e.Tag,
+			InputTokens:  e.In,
+			OutputTokens: e.Out,
+		})
+		if e.Tag > maxTag {
+			maxTag = e.Tag
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, 0, err
+	}
+	return entries, maxTag, nil
+}
+
+// --- Constructors ------------------------------------------------------------
+
+// NewDurable builds a fresh session with crash durability when
+// Config.StateDir is set: the WAL is truncated and an initial checkpoint
+// written, so the directory always describes this session. An existing
+// checkpoint in the directory is overwritten — use Restore to resume it
+// instead.
+func NewDurable(cfg Config) (*Session, error) {
+	s := New(cfg)
+	if cfg.StateDir == "" {
+		return s, nil
+	}
+	if err := os.MkdirAll(cfg.StateDir, 0o755); err != nil {
+		return nil, fmt.Errorf("serve: state dir: %w", err)
+	}
+	if _, err := os.Stat(checkpointPath(cfg.StateDir)); err == nil {
+		s.logf("serve: state dir %s holds a previous session; starting fresh (run with restore to resume it)", cfg.StateDir)
+	}
+	w, err := openWAL(cfg.StateDir, true)
+	if err != nil {
+		return nil, fmt.Errorf("serve: wal: %w", err)
+	}
+	s.wal = w
+	s.mu.Lock()
+	err = s.checkpointLocked()
+	s.mu.Unlock()
+	if err != nil {
+		w.close()
+		return nil, fmt.Errorf("serve: initial checkpoint: %w", err)
+	}
+	return s, nil
+}
+
+// Restore rebuilds a killed session from its state directory. cfg must
+// describe the same session the checkpoint was taken from (cmd/dynamoserve
+// reconstructs it from ReadCheckpoint): the simulation is deterministic,
+// so replaying the same base trace plus the WAL's injections at their
+// original virtual instants, then fast-forwarding to the checkpointed
+// boundary, reproduces the pre-crash state exactly. Requests acked after
+// the final checkpoint sit in the restored session's near future and are
+// served normally — no acked request is lost. Their original waiters are
+// gone with the old process, so their completions resolve without
+// delivery.
+func Restore(cfg Config) (*Session, error) {
+	if cfg.StateDir == "" {
+		return nil, errors.New("serve: Restore requires Config.StateDir")
+	}
+	ck, err := ReadCheckpoint(cfg.StateDir)
+	if err != nil {
+		return nil, fmt.Errorf("serve: restore: %w", err)
+	}
+	entries, maxTag, err := readWAL(cfg.StateDir)
+	if err != nil {
+		return nil, fmt.Errorf("serve: restore: %w", err)
+	}
+	s := New(cfg)
+	resume := simclock.Time(ck.BoundaryVirtualS)
+	s.pacer = simclock.NewPacerAt(s.cfg.Speed, resume, cfg.WallClock)
+	s.nextTag = ck.NextTag
+	if maxTag > s.nextTag {
+		s.nextTag = maxTag
+	}
+	s.mu.Lock()
+	s.extendLocked(resume)
+	for _, e := range entries {
+		at, err := s.live.Inject(e)
+		if err != nil {
+			s.mu.Unlock()
+			return nil, fmt.Errorf("serve: restore: replay tag %d: %w", e.Tag, err)
+		}
+		if at > s.lastInjectedAt {
+			s.lastInjectedAt = at
+		}
+	}
+	s.live.AdvanceTo(resume)
+	s.restoredAt = resume
+	s.lastCkptAt = resume
+	s.mu.Unlock()
+	w, err := openWAL(cfg.StateDir, false)
+	if err != nil {
+		return nil, fmt.Errorf("serve: restore: wal: %w", err)
+	}
+	s.wal = w
+	s.logf("serve: restored at virtual t=%.0fs (%d WAL request(s) replayed, next tag %d)",
+		float64(resume), len(entries), s.nextTag+1)
+	return s, nil
+}

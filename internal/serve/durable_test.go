@@ -1,0 +1,227 @@
+package serve
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"dynamollm/internal/core"
+)
+
+// durableConfig builds a durable session config on a fake clock with a
+// small looping base trace.
+func durableConfig(t *testing.T, dir string, clock *fakeClock) Config {
+	t.Helper()
+	opts := core.SinglePool()
+	opts.Seed = 7
+	opts.Fidelity = core.FidelityEvent
+	return Config{
+		Name:      "singlepool",
+		Opts:      opts,
+		Trace:     testTrace(20, 5),
+		Speed:     10,
+		Loop:      true,
+		Repo:      sharedRepo(),
+		WallClock: clock.now,
+		Logf:      t.Logf,
+		StateDir:  dir,
+		Meta:      map[string]string{"peak": "45"},
+	}
+}
+
+// TestDurableRestore is the crash-recovery contract: kill a durable
+// session without any shutdown (the process just vanishes — only the WAL
+// and checkpoint survive), restore from the state directory, and the
+// restored session must resume at the checkpointed virtual instant,
+// serve every acked injection, and continue the tag sequence.
+func TestDurableRestore(t *testing.T) {
+	dir := t.TempDir()
+	clock := newFakeClock()
+	cfg := durableConfig(t, dir, clock)
+
+	s, err := NewDurable(cfg)
+	if err != nil {
+		t.Fatalf("NewDurable: %v", err)
+	}
+	// Serve 30 virtual seconds, injecting along the way.
+	var tags []uint64
+	for i := 0; i < 3; i++ {
+		clock.advance(time.Second) // 10 virtual s
+		s.Advance()
+		acc, _, err := s.Inject(128, 16, false)
+		if err != nil {
+			t.Fatalf("inject %d: %v", i, err)
+		}
+		tags = append(tags, acc.Tag)
+	}
+	preBoundary := s.Stats().VirtualSeconds
+	s.mu.Lock()
+	if err := s.checkpointLocked(); err != nil {
+		t.Fatalf("checkpoint: %v", err)
+	}
+	s.mu.Unlock()
+	// One more acked injection after the final checkpoint: it exists only
+	// in the WAL and must survive anyway.
+	acc, _, err := s.Inject(256, 32, false)
+	if err != nil {
+		t.Fatalf("post-checkpoint inject: %v", err)
+	}
+	tags = append(tags, acc.Tag)
+	// Crash: no Close, no drain. Drop the session on the floor.
+
+	restoreClock := newFakeClock()
+	cfg2 := durableConfig(t, dir, restoreClock)
+	r, err := Restore(cfg2)
+	if err != nil {
+		t.Fatalf("Restore: %v", err)
+	}
+	st := r.Stats()
+	if st.VirtualSeconds != preBoundary {
+		t.Errorf("restored at virtual %v, want checkpointed boundary %v", st.VirtualSeconds, preBoundary)
+	}
+	if st.RestoredAtS != preBoundary {
+		t.Errorf("RestoredAtS = %v, want %v", st.RestoredAtS, preBoundary)
+	}
+	// The next tag continues the pre-crash sequence even though the last
+	// ack never made a checkpoint.
+	acc2, _, err := r.Inject(128, 16, false)
+	if err != nil {
+		t.Fatalf("post-restore inject: %v", err)
+	}
+	if want := tags[len(tags)-1] + 1; acc2.Tag != want {
+		t.Errorf("post-restore tag = %d, want %d", acc2.Tag, want)
+	}
+	// Run well past every injected arrival: all acked requests (including
+	// the post-checkpoint one) must be served.
+	restoreClock.advance(10 * time.Second)
+	r.Advance()
+	res, _ := r.Close()
+	want := len(cfg2.Trace) + len(tags) + 1
+	if res.Requests < want {
+		t.Errorf("restored session routed %d requests, want >= %d (all acked injections replayed)", res.Requests, want)
+	}
+	if res.Requests != res.Completed+res.Squashed+res.Shed {
+		t.Errorf("conservation violated after restore: %d != %d + %d + %d",
+			res.Requests, res.Completed, res.Squashed, res.Shed)
+	}
+}
+
+// TestDurableDeterministicReplay pins that restoring twice from the same
+// state directory yields identical sessions: same boundary, same request
+// counts after the same advance.
+func TestDurableDeterministicReplay(t *testing.T) {
+	dir := t.TempDir()
+	clock := newFakeClock()
+	s, err := NewDurable(durableConfig(t, dir, clock))
+	if err != nil {
+		t.Fatalf("NewDurable: %v", err)
+	}
+	clock.advance(2 * time.Second)
+	s.Advance()
+	if _, _, err := s.Inject(512, 64, false); err != nil {
+		t.Fatalf("inject: %v", err)
+	}
+	s.mu.Lock()
+	if err := s.checkpointLocked(); err != nil {
+		t.Fatalf("checkpoint: %v", err)
+	}
+	s.mu.Unlock()
+
+	stats := make([]Stats, 2)
+	for i := range stats {
+		c := newFakeClock()
+		r, err := Restore(durableConfig(t, dir, c))
+		if err != nil {
+			t.Fatalf("restore %d: %v", i, err)
+		}
+		c.advance(3 * time.Second)
+		r.Advance()
+		stats[i] = r.Stats()
+		r.wal.close()
+	}
+	if stats[0] != stats[1] {
+		t.Errorf("restores diverged:\n%+v\n%+v", stats[0], stats[1])
+	}
+}
+
+// TestWALTornTail verifies a torn final WAL line (crash mid-write,
+// pre-ack) is dropped silently while earlier entries survive.
+func TestWALTornTail(t *testing.T) {
+	dir := t.TempDir()
+	wal := `{"tag":1,"at":5,"in":128,"out":16}` + "\n" + `{"tag":2,"at":9,"in":2`
+	if err := os.WriteFile(filepath.Join(dir, "wal.jsonl"), []byte(wal), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	entries, maxTag, err := readWAL(dir)
+	if err != nil {
+		t.Fatalf("readWAL: %v", err)
+	}
+	if len(entries) != 1 || entries[0].Tag != 1 || maxTag != 1 {
+		t.Errorf("got %d entries (maxTag %d), want the 1 complete entry", len(entries), maxTag)
+	}
+}
+
+// TestWALMidFileCorruption verifies a malformed line that is NOT the tail
+// is treated as corruption, not a torn write.
+func TestWALMidFileCorruption(t *testing.T) {
+	dir := t.TempDir()
+	wal := `{"tag":1,"at":5,"in":128,"out":16}` + "\n" + "garbage\n" + `{"tag":3,"at":9,"in":128,"out":16}` + "\n"
+	if err := os.WriteFile(filepath.Join(dir, "wal.jsonl"), []byte(wal), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := readWAL(dir); err == nil {
+		t.Error("readWAL accepted mid-file corruption")
+	}
+}
+
+// TestAdmissionControl pins the 429 paths: an inflight cap and a lag cap
+// both shed with OverloadError and count in Stats.AdmissionShed.
+func TestAdmissionControl(t *testing.T) {
+	clock := newFakeClock()
+	opts := core.SinglePool()
+	opts.Seed = 7
+	opts.Fidelity = core.FidelityEvent
+	s := New(Config{
+		Name:        "singlepool",
+		Opts:        opts,
+		Trace:       testTrace(5, 5),
+		Speed:       10,
+		Repo:        sharedRepo(),
+		WallClock:   clock.now,
+		Logf:        t.Logf,
+		MaxInflight: 1,
+	})
+	if _, _, err := s.Inject(128, 16, true); err != nil {
+		t.Fatalf("first inject: %v", err)
+	}
+	_, _, err := s.Inject(128, 16, true)
+	oe, ok := err.(*OverloadError)
+	if !ok {
+		t.Fatalf("second inject: got %v, want OverloadError", err)
+	}
+	if oe.RetryAfter <= 0 {
+		t.Errorf("RetryAfter = %v, want positive", oe.RetryAfter)
+	}
+	if got := s.Stats().AdmissionShed; got != 1 {
+		t.Errorf("AdmissionShed = %d, want 1", got)
+	}
+
+	// Lag-based shedding: jump the wall clock far ahead without advancing.
+	s2 := New(Config{
+		Name:          "singlepool",
+		Opts:          opts,
+		Trace:         testTrace(5, 5),
+		Speed:         1000,
+		Repo:          sharedRepo(),
+		WallClock:     clock.now,
+		Logf:          t.Logf,
+		MaxLagSeconds: 30,
+	})
+	clock.advance(time.Second) // 1000 virtual s of lag
+	if _, _, err := s2.Inject(128, 16, false); err == nil {
+		t.Fatal("lagging session admitted an injection, want OverloadError")
+	} else if _, ok := err.(*OverloadError); !ok {
+		t.Fatalf("got %v, want OverloadError", err)
+	}
+}

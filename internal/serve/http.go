@@ -66,10 +66,14 @@ func (h *Handler) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	h.s.WriteMetrics(w)
 }
 
-// requestBody is the /request payload.
+// requestBody is the /request payload. DeadlineS, when positive, bounds
+// how many wall seconds this request may wait for its completion before
+// the handler answers 408 — a per-request deadline tighter than the
+// server-wide wait timeout (which stays the backstop).
 type requestBody struct {
-	InputTokens  int `json:"input_tokens"`
-	OutputTokens int `json:"output_tokens"`
+	InputTokens  int     `json:"input_tokens"`
+	OutputTokens int     `json:"output_tokens"`
+	DeadlineS    float64 `json:"deadline_s"`
 }
 
 func (h *Handler) handleRequest(w http.ResponseWriter, r *http.Request) {
@@ -86,13 +90,33 @@ func (h *Handler) handleRequest(w http.ResponseWriter, r *http.Request) {
 			workload.InputLongMax, workload.OutputLongMax), http.StatusBadRequest)
 		return
 	}
+	if body.DeadlineS < 0 {
+		http.Error(w, "deadline_s must be >= 0", http.StatusBadRequest)
+		return
+	}
 	sse := strings.Contains(r.Header.Get("Accept"), "text/event-stream")
 	wait := r.URL.Query().Get("wait") != "0" || sse
 
 	acc, waiter, err := h.s.Inject(body.InputTokens, body.OutputTokens, wait)
+	var overload *OverloadError
+	if errors.As(err, &overload) {
+		secs := int(overload.RetryAfter / time.Second)
+		if secs < 1 {
+			secs = 1
+		}
+		w.Header().Set("Retry-After", fmt.Sprintf("%d", secs))
+		http.Error(w, err.Error(), http.StatusTooManyRequests)
+		return
+	}
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusServiceUnavailable)
 		return
+	}
+	// A per-request deadline tightens the wait and turns its expiry into
+	// 408 (the client's budget ran out) instead of the 504 backstop.
+	timeout, timeoutCode := h.waitTimeout, http.StatusGatewayTimeout
+	if d := time.Duration(body.DeadlineS * float64(time.Second)); d > 0 && d < timeout {
+		timeout, timeoutCode = d, http.StatusRequestTimeout
 	}
 	accepted := map[string]interface{}{
 		"tag":                   acc.Tag,
@@ -104,11 +128,11 @@ func (h *Handler) handleRequest(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if sse {
-		h.streamSSE(w, r, acc, accepted, waiter)
+		h.streamSSE(w, r, acc, accepted, waiter, timeout)
 		return
 	}
 
-	timer := time.NewTimer(h.waitTimeout)
+	timer := time.NewTimer(timeout)
 	defer timer.Stop()
 	select {
 	case done := <-waiter.Done:
@@ -117,7 +141,11 @@ func (h *Handler) handleRequest(w http.ResponseWriter, r *http.Request) {
 		h.s.Abandon(acc.Tag)
 	case <-timer.C:
 		h.s.Abandon(acc.Tag)
-		http.Error(w, "timeout waiting for completion", http.StatusGatewayTimeout)
+		if timeoutCode == http.StatusRequestTimeout {
+			http.Error(w, "deadline_s exceeded waiting for completion", timeoutCode)
+		} else {
+			http.Error(w, "timeout waiting for completion", timeoutCode)
+		}
 	}
 }
 
@@ -125,7 +153,7 @@ func (h *Handler) handleRequest(w http.ResponseWriter, r *http.Request) {
 // "accepted" event, a best-effort "token" event per produced output token
 // (event fidelity only; `produced` restarts if the request migrates —
 // see TokenEvent), and a final "done" event with the completion.
-func (h *Handler) streamSSE(w http.ResponseWriter, r *http.Request, acc Accepted, accepted map[string]interface{}, waiter *Waiter) {
+func (h *Handler) streamSSE(w http.ResponseWriter, r *http.Request, acc Accepted, accepted map[string]interface{}, waiter *Waiter, timeout time.Duration) {
 	w.Header().Set("Content-Type", "text/event-stream")
 	w.Header().Set("Cache-Control", "no-cache")
 	flusher, _ := w.(http.Flusher)
@@ -139,7 +167,7 @@ func (h *Handler) streamSSE(w http.ResponseWriter, r *http.Request, acc Accepted
 	emit("accepted", accepted)
 
 	tag := acc.Tag
-	timer := time.NewTimer(h.waitTimeout)
+	timer := time.NewTimer(timeout)
 	defer timer.Stop()
 	for {
 		select {

@@ -62,6 +62,10 @@ func (s *Session) renderMetrics(w *bytes.Buffer) {
 	c("emergencies_total", "instance-manager emergency escalations", float64(st.Emergencies))
 	c("outages_total", "instances lost to injected failures", float64(st.Outages))
 	c("recoveries_total", "servers restored by recovery events", float64(st.Recoveries))
+	c("retried_total", "failed requests readmitted through the frontend retry queue", float64(st.Retried))
+	c("retry_success_total", "retried requests that eventually completed", float64(st.RetrySuccess))
+	c("shed_total", "requests dropped after exhausting their retry budget", float64(st.Shed))
+	c("admission_shed_total", "injections rejected by admission control (HTTP 429)", float64(st.AdmissionShed))
 	c("trace_loops_total", "base-trace replays", float64(st.TraceLoops))
 
 	writeSummary(w, "ttft_seconds", "time to first token", "", res.TTFT)

@@ -50,11 +50,52 @@ type Config struct {
 	WallClock func() time.Time
 	// Logf receives operational log lines (nil discards them).
 	Logf func(format string, args ...interface{})
+
+	// MaxInflight sheds new injections (OverloadError, HTTP 429) once
+	// this many injected requests are already waiting (0 = unlimited).
+	MaxInflight int
+	// MaxLagSeconds sheds new injections while the simulation is more
+	// than this many virtual seconds behind the pacer — the host cannot
+	// keep up, and admitting more work only deepens the hole
+	// (0 = unlimited).
+	MaxLagSeconds float64
+	// DrainLimit bounds the virtual time Close simulates past the final
+	// pacer instant to serve stragglers; anything still unfinished then
+	// resolves as squashed (0 = unlimited: drain everything accepted).
+	DrainLimit float64
+
+	// StateDir enables crash durability: every accepted injection is
+	// appended (and synced) to <StateDir>/wal.jsonl before it is acked,
+	// and a checkpoint of the session's progress is written to
+	// <StateDir>/checkpoint.json on CheckpointEvery. Restore rebuilds a
+	// killed session from the pair — no acked request is lost. Empty
+	// disables durability.
+	StateDir string
+	// CheckpointEvery is the wall interval between durable checkpoints
+	// (default 2s when StateDir is set).
+	CheckpointEvery time.Duration
+	// Meta is opaque caller metadata stored in the checkpoint file —
+	// cmd/dynamoserve keeps the flags it needs to rebuild an identical
+	// session (peak rate) there.
+	Meta map[string]string
 }
 
 // ErrClosed reports an injection into a session that has begun shutting
 // down — a transient condition (503), not a bad request.
 var ErrClosed = errors.New("serve: session closed")
+
+// OverloadError reports an injection shed by admission control: the
+// session is over its inflight cap or the simulation has fallen too far
+// behind the wall clock. Clients should back off and retry after
+// RetryAfter (HTTP maps it to 429 + Retry-After).
+type OverloadError struct {
+	Reason     string
+	RetryAfter time.Duration
+}
+
+func (e *OverloadError) Error() string {
+	return fmt.Sprintf("serve: overloaded (%s), retry after %s", e.Reason, e.RetryAfter)
+}
 
 // TokenEvent is one streamed output token of an injected request.
 // Produced normally counts 1..OutputTokens, but restarts from 1 if the
@@ -119,6 +160,16 @@ type Session struct {
 	waiters        map[uint64]*Waiter
 	inflight       int
 	lastInjectedAt simclock.Time
+
+	// shed counts injections rejected by admission control.
+	shed int
+	// eventsPosted salts the fault-expansion seed per /events call.
+	eventsPosted uint64
+
+	// Durability (nil/zero when Config.StateDir is empty).
+	wal        *walFile
+	lastCkptAt simclock.Time
+	restoredAt simclock.Time
 
 	closed    bool
 	stop      chan struct{}
@@ -204,6 +255,32 @@ func (s *Session) Start() {
 			}
 		}
 	}()
+	if s.wal != nil {
+		every := s.cfg.CheckpointEvery
+		if every <= 0 {
+			every = 2 * time.Second
+		}
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			t := time.NewTicker(every)
+			defer t.Stop()
+			for {
+				select {
+				case <-s.stop:
+					return
+				case <-t.C:
+					s.mu.Lock()
+					if !s.closed {
+						if err := s.checkpointLocked(); err != nil {
+							s.logf("serve: checkpoint: %v", err)
+						}
+					}
+					s.mu.Unlock()
+				}
+			}
+		}()
+	}
 }
 
 // Advance brings the simulation up to the current virtual time and
@@ -277,15 +354,40 @@ func (s *Session) Inject(inTokens, outTokens int, wait bool) (Accepted, *Waiter,
 	if s.closed {
 		return Accepted{}, nil, ErrClosed
 	}
+	// Admission control, checked before paying the catch-up: a session
+	// that has fallen behind the wall clock sheds load instead of
+	// advancing (the advance is exactly the work it cannot afford), and a
+	// full waiter table sheds rather than queueing unboundedly.
+	if m := s.cfg.MaxLagSeconds; m > 0 {
+		if lag := float64(s.pacer.Now() - s.live.Boundary()); lag > m {
+			s.shed++
+			retry := s.pacer.Wall(simclock.Duration(lag-m)) + time.Second
+			return Accepted{}, nil, &OverloadError{Reason: "simulation lag", RetryAfter: retry}
+		}
+	}
+	if m := s.cfg.MaxInflight; m > 0 && s.inflight >= m {
+		s.shed++
+		retry := s.pacer.Wall(simclock.Duration(s.live.TickSeconds())) + time.Second
+		return Accepted{}, nil, &OverloadError{Reason: "inflight cap", RetryAfter: retry}
+	}
 	s.advanceLocked()
 	s.nextTag++
 	tag := s.nextTag
-	at, err := s.live.Inject(trace.Entry{
+	entry := trace.Entry{
 		At:           s.pacer.Now(),
 		Tag:          tag,
 		InputTokens:  inTokens,
 		OutputTokens: outTokens,
-	})
+	}
+	// Durability: the request must be on disk before it is acked — an ack
+	// is a promise the request survives a crash of this process.
+	if s.wal != nil {
+		if err := s.wal.append(entry); err != nil {
+			s.nextTag--
+			return Accepted{}, nil, fmt.Errorf("serve: wal append: %w", err)
+		}
+	}
+	at, err := s.live.Inject(entry)
 	if err != nil {
 		return Accepted{}, nil, err
 	}
@@ -333,7 +435,7 @@ func (s *Session) Abandon(tag uint64) {
 func (s *Session) InjectEvents(events []scenario.Event) (simclock.Time, error) {
 	for i, e := range events {
 		if !e.Kind.Runtime() {
-			return 0, fmt.Errorf("serve: event %d (%s): only runtime events (outage, recovery, price, slo) can be injected live", i, e.Kind)
+			return 0, fmt.Errorf("serve: event %d (%s): only runtime events (outage, recovery, rack, straggler, blip, faults, price, slo) can be injected live", i, e.Kind)
 		}
 		if e.AtHours < 0 {
 			return 0, fmt.Errorf("serve: event %d (%s): at_hours must be >= 0 (hours from now)", i, e.Kind)
@@ -349,6 +451,21 @@ func (s *Session) InjectEvents(events []scenario.Event) (simclock.Time, error) {
 	}
 	s.advanceLocked()
 	now := s.pacer.Now()
+	// Stochastic faults events expand into concrete crashes and repairs
+	// first, each /events call drawing from a fresh seed stream so
+	// repeated identical posts yield different (but logged) instants.
+	s.eventsPosted++
+	seed := s.cfg.Opts.Seed ^ (s.eventsPosted * 0x9e3779b97f4a7c15)
+	if plan := scenario.ExpandFaults(events, 0, seed); len(plan.Events) > 0 {
+		kept := make([]scenario.Event, 0, len(events)+len(plan.Events))
+		for _, e := range events {
+			if e.Kind != scenario.Faults {
+				kept = append(kept, e)
+			}
+		}
+		events = append(kept, plan.Events...)
+		s.logf("serve: expanded faults into %d crash/repair event(s) (seed %d)", len(plan.Events), seed)
+	}
 	var instant []scenario.Event
 	for _, e := range events {
 		from := now + simclock.Time(e.AtHours*3600)
@@ -387,13 +504,26 @@ func (s *Session) Close() (*core.Result, int) {
 	drained := s.inflight
 	// Serve everything already accepted: advance past the last injected
 	// arrival so no in-flight request is silently dropped, then drain.
-	target := s.pacer.Now()
+	// DrainLimit bounds the extension — a session being shut down under
+	// fire stops simulating after the budget and squashes the rest.
+	now := s.pacer.Now()
+	target := now
 	if pt := s.lastInjectedAt + simclock.Time(s.live.TickSeconds()); pt > target {
 		target = pt
+	}
+	if lim := s.cfg.DrainLimit; lim > 0 && target > now+simclock.Time(lim) {
+		s.logf("serve: drain limit %.0f virtual s reached; squashing stragglers", lim)
+		target = now + simclock.Time(lim)
 	}
 	s.live.AdvanceTo(target)
 	s.closed = true
 	res := s.live.Finish()
+	if s.wal != nil {
+		if err := s.checkpointLocked(); err != nil {
+			s.logf("serve: final checkpoint: %v", err)
+		}
+		s.wal.close()
+	}
 	// Anything still waiting can never complete now.
 	for tag, w := range s.waiters {
 		delete(s.waiters, tag)
@@ -578,6 +708,13 @@ type Stats struct {
 	Squashed       int     `json:"squashed"`
 	Completed      int     `json:"completed"`
 	Inflight       int     `json:"inflight"`
+	// Retried/RetrySuccess/Shed are the core frontend-retry counters;
+	// AdmissionShed counts injections this session rejected with 429
+	// before they reached the simulation.
+	Retried        int     `json:"retried"`
+	RetrySuccess   int     `json:"retry_success"`
+	Shed           int     `json:"shed"`
+	AdmissionShed  int     `json:"admission_shed"`
 	EnergyKWh      float64 `json:"energy_kwh"`
 	EnergyCostUSD  float64 `json:"energy_cost_usd"`
 	AvgServers     float64 `json:"avg_servers"`
@@ -599,6 +736,11 @@ type Stats struct {
 	HorizonReached bool    `json:"horizon_reached"`
 	SimLagSeconds  float64 `json:"sim_lag_virtual_s"`
 	PendingArrival int     `json:"pending_arrivals"`
+	// RestoredAtS is the virtual instant a crash-restored session resumed
+	// from (0 for a fresh session); LastCheckpointS is the virtual instant
+	// of the latest durable checkpoint (0 when durability is off).
+	RestoredAtS     float64 `json:"restored_at_virtual_s,omitempty"`
+	LastCheckpointS float64 `json:"last_checkpoint_virtual_s,omitempty"`
 }
 
 // Stats advances the session to the present and snapshots it.
@@ -613,31 +755,37 @@ func (s *Session) statsLocked() Stats {
 	res := s.live.Result()
 	boundary := float64(s.live.Boundary())
 	st := Stats{
-		VirtualSeconds: boundary,
-		Fidelity:       s.live.Options().Fidelity.String(),
-		Requests:       res.Requests,
-		Squashed:       res.Squashed,
-		Completed:      res.Completed,
-		Inflight:       s.inflight,
-		EnergyKWh:      res.EnergyKWh(),
-		EnergyCostUSD:  res.EnergyCostUSD,
-		ActiveServers:  s.live.ActiveServers(),
-		SLOAttainment:  res.SLOAttainment(),
-		TTFTP50:        res.TTFT.Percentile(50),
-		TTFTP99:        res.TTFT.Percentile(99),
-		TBTP50:         res.TBT.Percentile(50),
-		TBTP99:         res.TBT.Percentile(99),
-		Reshards:       res.Reshards,
-		ScaleOuts:      res.ScaleOuts,
-		ScaleIns:       res.ScaleIns,
-		Emergencies:    res.Emergencies,
-		Outages:        res.Outages,
-		Recoveries:     res.Recoveries,
-		PriceMult:      s.live.PriceMult(),
-		SLOFactor:      s.live.SLOFactor(),
-		TraceLoops:     s.loops,
-		HorizonReached: s.horizonReached,
-		PendingArrival: s.live.PendingArrivals(),
+		VirtualSeconds:  boundary,
+		Fidelity:        s.live.Options().Fidelity.String(),
+		Requests:        res.Requests,
+		Squashed:        res.Squashed,
+		Completed:       res.Completed,
+		Inflight:        s.inflight,
+		Retried:         res.Retried,
+		RetrySuccess:    res.RetrySuccess,
+		Shed:            res.Shed,
+		AdmissionShed:   s.shed,
+		EnergyKWh:       res.EnergyKWh(),
+		EnergyCostUSD:   res.EnergyCostUSD,
+		ActiveServers:   s.live.ActiveServers(),
+		SLOAttainment:   res.SLOAttainment(),
+		TTFTP50:         res.TTFT.Percentile(50),
+		TTFTP99:         res.TTFT.Percentile(99),
+		TBTP50:          res.TBT.Percentile(50),
+		TBTP99:          res.TBT.Percentile(99),
+		Reshards:        res.Reshards,
+		ScaleOuts:       res.ScaleOuts,
+		ScaleIns:        res.ScaleIns,
+		Emergencies:     res.Emergencies,
+		Outages:         res.Outages,
+		Recoveries:      res.Recoveries,
+		PriceMult:       s.live.PriceMult(),
+		SLOFactor:       s.live.SLOFactor(),
+		TraceLoops:      s.loops,
+		HorizonReached:  s.horizonReached,
+		PendingArrival:  s.live.PendingArrivals(),
+		RestoredAtS:     float64(s.restoredAt),
+		LastCheckpointS: float64(s.lastCkptAt),
 	}
 	if boundary > 0 {
 		st.AvgServers = res.GPUSeconds / 8 / boundary

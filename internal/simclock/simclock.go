@@ -202,9 +202,10 @@ func (c *Clock) peek() *event {
 // every query, never accumulated, so it cannot drift or go stale between
 // queries.
 type Pacer struct {
-	start time.Time
-	speed float64
-	now   func() time.Time
+	start  time.Time
+	speed  float64
+	offset Time
+	now    func() time.Time
 }
 
 // NewPacer anchors a pacer at now() running at the given speed. A nil now
@@ -220,9 +221,20 @@ func NewPacer(speed float64, now func() time.Time) *Pacer {
 	return &Pacer{start: now(), speed: speed, now: now}
 }
 
-// Now returns the current virtual time: elapsed wall time times speed.
+// NewPacerAt anchors a pacer whose virtual clock starts at offset instead
+// of zero: Now() reads offset at the anchoring instant and advances at
+// speed from there. A restored serving session uses this to resume
+// virtual time where the checkpoint left it.
+func NewPacerAt(speed float64, offset Time, now func() time.Time) *Pacer {
+	p := NewPacer(speed, now)
+	p.offset = offset
+	return p
+}
+
+// Now returns the current virtual time: elapsed wall time times speed,
+// plus any resume offset.
 func (p *Pacer) Now() Time {
-	return Time(p.now().Sub(p.start).Seconds() * p.speed)
+	return p.offset + Time(p.now().Sub(p.start).Seconds()*p.speed)
 }
 
 // Speed returns the pacer's virtual-seconds-per-wall-second factor.

@@ -185,10 +185,24 @@ type Request struct {
 	// detected and re-steered to the correct pool (§IV-D).
 	SteerPenalty float64
 
+	// Retries counts frontend retry attempts consumed so far (§IV-D): a
+	// request whose instance died or whose pool had no capacity re-enters
+	// the router after a backoff, up to the run's retry budget. Zero for
+	// first-attempt requests.
+	Retries int
+
+	// RetryDelay is the virtual time already spent between the original
+	// arrival and the latest re-admission (queue waits plus backoff). The
+	// fluid backend adds it to the sampled TTFT so retry-aware SLO
+	// accounting measures from the original arrival; the event backend
+	// needs no correction because Arrival itself is preserved across
+	// retries.
+	RetryDelay float64
+
 	// Lifecycle timestamps, filled by the engine.
 	FirstToken simclock.Time // when the first output token was produced
 	Finish     simclock.Time // when the last output token was produced
-	Squashed   bool          // dropped by emergency handling (§IV-D)
+	Squashed   bool          // terminally dropped: retry budget exhausted, retry queue overflow, or undrainable at run end
 }
 
 // Class returns the true class from actual lengths.

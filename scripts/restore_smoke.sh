@@ -1,0 +1,73 @@
+#!/usr/bin/env bash
+# Crash-recovery smoke: start a durable dynamoserve, drive acked load,
+# kill -9 mid-flight (no shutdown, no drain), then restart with -restore
+# and assert the rebuilt session resumed from the checkpointed virtual
+# instant with the WAL replayed — no acked request lost. Run from the
+# repository root; CI invokes it via `make restore-smoke`.
+set -euo pipefail
+
+addr=127.0.0.1:18081
+bin="$(mktemp -d)"
+state="$bin/state"
+log="$bin/serve.log"
+log2="$bin/restore.log"
+pid=""
+cleanup() {
+	[ -n "$pid" ] && kill -9 "$pid" 2>/dev/null || true
+	rm -rf "$bin"
+}
+trap cleanup EXIT
+
+go build -o "$bin/dynamoserve" ./cmd/dynamoserve
+go build -o "$bin/dynamoload" ./cmd/dynamoload
+
+"$bin/dynamoserve" -addr "$addr" -fidelity event -peak 5 -speed 30 -state "$state" >"$log" 2>&1 &
+pid=$!
+
+for _ in $(seq 100); do
+	curl -sf "http://$addr/config" >/dev/null 2>&1 && break
+	sleep 0.1
+done
+curl -sf "http://$addr/config" >/dev/null
+
+# Acked load: every accepted request is WAL-synced before its ack.
+"$bin/dynamoload" -url "http://$addr" -rps 200 -duration 2s -mix
+
+# Let at least one periodic checkpoint (every 2s) land, then murder the
+# process — SIGKILL, so nothing gets to flush or drain.
+sleep 3
+kill -9 "$pid"
+wait "$pid" 2>/dev/null || true
+pid=""
+
+[ -s "$state/checkpoint.json" ] || { echo "FAIL: no checkpoint written"; exit 1; }
+[ -s "$state/wal.jsonl" ] || { echo "FAIL: no WAL written"; exit 1; }
+wal_lines=$(wc -l <"$state/wal.jsonl")
+ckpt=$(grep -o '"boundary_virtual_s": *[0-9.]*' "$state/checkpoint.json" | grep -o '[0-9.]*$')
+echo "killed -9 with checkpoint at virtual ${ckpt}s and $wal_lines WAL entries"
+
+# Restore: system/peak/speed/fidelity come from the checkpoint.
+"$bin/dynamoserve" -addr "$addr" -state "$state" -restore >"$log2" 2>&1 &
+pid=$!
+for _ in $(seq 100); do
+	curl -sf "http://$addr/config" >/dev/null 2>&1 && break
+	sleep 0.1
+done
+
+stats=$(curl -sf "http://$addr/stats")
+echo "$stats" | grep -q '"restored_at_virtual_s"' || { echo "FAIL: restored session reports no restore point"; exit 1; }
+# The restored session must resume at (not before) the checkpointed tick.
+echo "$stats" | awk -v ck="$ckpt" -F'"virtual_seconds":' '{split($2,a,","); if (a[1]+0 < ck+0) {print "FAIL: resumed at", a[1], "before checkpoint", ck; exit 1}}'
+grep -q 'restored at virtual' "$log2" || { echo "FAIL: restore log line missing"; exit 1; }
+replayed=$(grep -o '([0-9]* WAL request(s) replayed' "$log2" | grep -o '[0-9]*' | head -1)
+[ "${replayed:-0}" -eq "$wal_lines" ] || { echo "FAIL: replayed $replayed of $wal_lines WAL entries"; exit 1; }
+
+# The restored server still serves: inject one more request end to end.
+curl -sf -X POST "http://$addr/request" -d '{"input_tokens":128,"output_tokens":16}' | grep -q '"tag"'
+
+# And still shuts down cleanly.
+kill -INT "$pid"
+wait "$pid"
+grep -q 'drained' "$log2"
+pid=""
+echo "restore-smoke OK: resumed at >=${ckpt}s with all $wal_lines acked requests replayed"
