@@ -16,15 +16,19 @@ BENCHTIME ?= 1x
 COUNT ?= 1
 
 # Benchmarks the regression gate times: the steady-state engine, tick-loop,
-# fleet-stepping, and snapshot paths. The macro table/figure benchmarks
-# stay in bench/bench-json as one-iteration smoke — they re-run whole
-# experiment fixtures per iteration and carry too much noise to gate at 10%.
-GATEBENCH ?= TickLoop|EventFleet|LiveSnapshot|LiveAdvanceTick|EngineSoak
+# fleet-stepping, snapshot, and block-KV paths. The macro table/figure
+# benchmarks stay in bench/bench-json as one-iteration smoke — they re-run
+# whole experiment fixtures per iteration and carry too much noise to gate
+# at 10%.
+GATEBENCH ?= TickLoop|EventFleet|LiveSnapshot|LiveAdvanceTick|EngineSoak|EngineKV
 
 # Committed baseline the perf-regression gate compares against.
-BASE ?= 7
+BASE ?= 8
 
-.PHONY: all build test lint docs-check bench bench-json bench-gate profile smoke scenario-smoke event-smoke fidelity-smoke serve-smoke chaos-smoke restore-smoke
+# Budget for the fuzz-smoke target (per fuzz target).
+FUZZTIME ?= 30s
+
+.PHONY: all build test lint docs-check bench bench-json bench-gate profile smoke scenario-smoke event-smoke fidelity-smoke serve-smoke chaos-smoke restore-smoke fuzz-smoke
 
 all: build lint docs-check test
 
@@ -114,3 +118,10 @@ chaos-smoke:
 # restore from the WAL + checkpoint, assert no acked request was lost.
 restore-smoke:
 	./scripts/restore_smoke.sh
+
+# Short coverage-guided fuzz pass over the scenario JSON loader, race
+# detector on. The corpus seeds from the builtin library plus known-nasty
+# inputs; CI runs this budget on every push so new validation gaps fail
+# fast rather than waiting for a long offline campaign.
+fuzz-smoke:
+	$(GO) test -race -run='^$$' -fuzz=FuzzScenarioLoad -fuzztime=$(FUZZTIME) ./internal/scenario

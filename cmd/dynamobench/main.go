@@ -20,14 +20,19 @@
 // "scenario <name>" runs one — a library name like flashcrowd, or a path
 // to a JSON scenario definition. "fidelity" cross-validates the fluid
 // model against the event-level engine, "chaos" sweeps the fault grid —
-// crash intensity x straggler fraction x retry budget — and neither is
-// part of "all".)
+// crash intensity x straggler fraction x retry budget — "kv" sweeps the
+// KV-cache grid — capacity factor x prefix share x disaggregation, always
+// event fidelity — and none of the three is part of "all".)
 //
 // -fidelity {fluid,event} selects the instance service model for every
 // cluster simulation: the closed-form fluid model (fast default) or one
 // event-level engine per instance (ground truth, slower). In event mode
 // -jobs also bounds the worker pool stepping instance engines inside each
 // simulation; any value produces byte-identical output.
+//
+// -disagg splits every pool of every cluster simulation into a prefill
+// pool and a decode pool with a modeled KV-transfer handoff between them
+// (implies -fidelity event).
 //
 // "snapshot straight" and "snapshot forked" run the same live session to
 // the same horizon — the forked variant through a mid-run checkpoint and
@@ -61,6 +66,7 @@ func realMain() int {
 	quick := flag.Bool("quick", false, "shrink long experiments (2-day weeks, thinner load)")
 	jobs := flag.Int("jobs", runtime.NumCPU(), "max concurrent simulations per experiment (output is identical for any value)")
 	fidelity := flag.String("fidelity", "fluid", "instance fidelity backend: fluid|event")
+	disagg := flag.Bool("disagg", false, "split pools into prefill/decode with a modeled KV handoff (implies -fidelity event)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the selected experiments to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile taken after the selected experiments to this file")
 	flag.Usage = func() {
@@ -118,6 +124,10 @@ func realMain() int {
 	cfg.Parallelism = *jobs
 	cfg.Fidelity = fid
 	cfg.StepJobs = *jobs
+	cfg.Disagg = *disagg
+	if *disagg {
+		cfg.Fidelity = core.FidelityEvent
+	}
 
 	// Scenario mode: run named (or JSON-defined) scenarios through the
 	// six systems instead of regenerating paper figures.
@@ -170,10 +180,11 @@ func allNames() []string {
 }
 
 // names lists every accepted experiment: the "all" set plus the fidelity
-// cross-validation (runs its own fluid+event grid) and the chaos sweep
-// (fault grid, robustness-focused), both kept out of "all".
+// cross-validation (runs its own fluid+event grid), the chaos sweep
+// (fault grid, robustness-focused), and the KV sweep (event-fidelity
+// cache dynamics), all kept out of "all".
 func names() []string {
-	return append(allNames(), "fidelity", "chaos")
+	return append(allNames(), "fidelity", "chaos", "kv")
 }
 
 // runScenarios resolves each argument to a scenario — a built-in library
@@ -290,6 +301,12 @@ func run(cfg expt.Config, name string, hour func() []expt.SystemRun) (string, er
 			return "", err
 		}
 		return expt.RenderChaos(ps), nil
+	case "kv":
+		ps, err := cfg.KVSweep()
+		if err != nil {
+			return "", err
+		}
+		return expt.RenderKV(ps), nil
 	case "fidelity":
 		return expt.RenderFidelity(cfg.FidelityCompare()), nil
 	}

@@ -63,6 +63,23 @@ type Config struct {
 	// higher values cut event-mode wall time roughly linearly in the
 	// instance count.
 	StepJobs int
+	// Disagg splits every pool into a prefill pool and a decode pool with
+	// a modeled KV-transfer handoff between them. Implies event fidelity
+	// and block-granular KV accounting.
+	Disagg bool
+	// KVBlockTokens enables block-granular KV-cache accounting in every
+	// event-fidelity engine: admission, decode growth, and preemption all
+	// operate on pages of this many tokens (0 = legacy token-bucket
+	// accounting, byte-identical to previous releases).
+	KVBlockTokens int
+	// KVCapacityFactor scales each engine's profile-derived KV block
+	// capacity (0 or 1 = full capacity; small values force preemption
+	// pressure). Only meaningful with KVBlockTokens > 0.
+	KVCapacityFactor float64
+	// KVPrefixCache enables the engine prompt-prefix cache: requests
+	// tagged with a shared PromptGroup skip prefill for the cached
+	// prefix. Only meaningful with KVBlockTokens > 0.
+	KVPrefixCache bool
 	// Seed fixes all randomness.
 	Seed uint64
 }
@@ -175,6 +192,10 @@ func (cfg Config) coreOptions() (core.Options, error) {
 		opts.Fidelity = fid
 	}
 	opts.StepJobs = cfg.StepJobs
+	opts.Disagg = cfg.Disagg
+	opts.KVBlockTokens = cfg.KVBlockTokens
+	opts.KVCapacityFactor = cfg.KVCapacityFactor
+	opts.KVPrefixCache = cfg.KVPrefixCache
 	opts.Seed = cfg.Seed
 	return opts, nil
 }

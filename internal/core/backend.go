@@ -8,6 +8,7 @@ import (
 	"dynamollm/internal/energy"
 	"dynamollm/internal/engine"
 	"dynamollm/internal/gpu"
+	"dynamollm/internal/model"
 	"dynamollm/internal/perfmodel"
 	"dynamollm/internal/simclock"
 	"dynamollm/internal/workload"
@@ -171,11 +172,46 @@ type eventBackend struct {
 	// resolution because instance state only changes in the serial
 	// controller phases between RunTo calls.
 	pending []pendingSub
-	// stepList is the reusable scratch listing live engines in ID order
-	// for the stepping pool.
-	stepList []*instEngine
+	// groupClocks are the per-base-pool shared clocks used under
+	// disaggregation: a prefill instance and its decode twins must share
+	// one clock so the KV handoff can schedule the decode-side submission
+	// mid-tick without cross-clock coordination. Indexed by base pool
+	// (in.Pool % NumPools); nil entries are groups never touched. Empty
+	// when Disagg is off — every engine then keeps its private clock,
+	// which is what makes the non-disagg event path byte-identical to
+	// earlier builds.
+	groupClocks []*simclock.Clock
+	// stepClocks is the reusable scratch listing the distinct clocks the
+	// stepping pool drives this tick (one per engine normally, one per
+	// pool group under disaggregation).
+	stepClocks []*simclock.Clock
 	// scratch stages drained requests during migrations.
 	scratch []workload.Request
+}
+
+// kvTransfer is one in-flight prefill-to-decode KV handoff: the request,
+// its prefilled context, and the instant the modeled transfer completes.
+// Tracked on the receiving engine so retirement can fail unfinished
+// transfers over to the frontend and snapshot cloning can re-schedule
+// them; done entries are compacted each tick.
+type kvTransfer struct {
+	at   simclock.Time
+	req  workload.Request
+	ctx  int
+	done bool
+}
+
+// KV-transfer cost model: a fixed setup latency (connection, metadata)
+// plus the prefilled KV bytes over an inter-node interconnect.
+const (
+	kvTransferSetupSeconds = 0.002
+	kvTransferBytesPerSec  = 50e9
+)
+
+// kvTransferSeconds models moving ctx tokens of KV cache between a
+// prefill and a decode instance.
+func kvTransferSeconds(m *model.Model, ctx int) float64 {
+	return kvTransferSetupSeconds + float64(ctx)*m.KVBytesPerToken/kvTransferBytesPerSec
 }
 
 // pendingSub is one scheduled request submission awaiting delivery.
@@ -192,18 +228,37 @@ type pendingSub struct {
 type instEngine struct {
 	eng   *engine.Engine
 	clock *simclock.Clock
+	// pool is the owning instance's pool index, kept here so callbacks
+	// wired during concurrent stepping can resolve the pool role and the
+	// decode twin without touching the Instance.
+	pool int
 	// lastJ is the meter reading at the previous tick boundary.
 	lastJ float64
 	// cls is the served-mix class of the last Advance, for attributing
 	// the post-horizon drain tail in Finish.
 	cls workload.Class
 
+	// lastPre/lastHits/lastRej/lastHand are the engine KV counter values
+	// already folded into the Result; settleKV books the deltas.
+	lastPre, lastHits, lastRej, lastHand int
+
+	// handoffsIn counts KV handoffs received this tick; Advance folds it
+	// into the decode instance's rate EWMA (handed-off work never passes
+	// the router, so the controllers would otherwise see zero load).
+	handoffsIn int
+
 	// lats buffers per-class latency samples (instEngine is the engine's
 	// LatencySink); toks buffers token events for tagged requests; dones
-	// buffers completed requests by value.
+	// buffers completed requests by value; fails buffers requests the
+	// engine rejected (oversize for its KV pool) or whose handoff found
+	// no decode target, drained to the frontend retry path at merge.
 	lats  []latSample
 	toks  []tokenEvent
 	dones []workload.Request
+	fails []workload.Request
+
+	// transfers are in-flight KV handoffs targeting this engine.
+	transfers []*kvTransfer
 }
 
 // latSample is one buffered per-class latency observation.
@@ -250,10 +305,10 @@ func (b *eventBackend) engineFor(in *Instance) *instEngine {
 	}
 	ie := b.engines[in.ID]
 	if ie == nil {
-		clk := simclock.New()
-		clk.RunUntil(b.now)
+		clk := b.clockFor(in)
 		cfg := perfmodel.Config{Model: b.s.opts.Model, TP: in.TP, Freq: in.effFreq()}
-		ie = &instEngine{eng: engine.New(cfg, clk), clock: clk, cls: workload.Classify(int(avgOr(in.mixIn, 512)), int(avgOr(in.mixOut, 200)))}
+		ie = &instEngine{eng: engine.New(cfg, clk), clock: clk, pool: in.Pool, cls: workload.Classify(int(avgOr(in.mixIn, 512)), int(avgOr(in.mixOut, 200)))}
+		b.configureKV(ie)
 		b.wire(ie)
 		if in.state != stateActive && in.readyAt > b.now {
 			ie.eng.Freeze(in.readyAt)
@@ -261,6 +316,44 @@ func (b *eventBackend) engineFor(in *Instance) *instEngine {
 		b.engines[in.ID] = ie
 	}
 	return ie
+}
+
+// clockFor returns the virtual clock a new engine runs on: a fresh
+// private clock normally (engines are independent between ticks — the
+// parallel-stepping byte-identity anchor), or the pool group's shared
+// clock under disaggregation (prefill and decode twins exchange mid-tick
+// handoff events, so they must share an event heap).
+func (b *eventBackend) clockFor(in *Instance) *simclock.Clock {
+	if !b.s.opts.Disagg {
+		clk := simclock.New()
+		clk.RunUntil(b.now)
+		return clk
+	}
+	gi := in.Pool % b.c.pooling.NumPools
+	for gi >= len(b.groupClocks) {
+		b.groupClocks = append(b.groupClocks, nil)
+	}
+	if b.groupClocks[gi] == nil {
+		clk := simclock.New()
+		clk.RunUntil(b.now)
+		b.groupClocks[gi] = clk
+	}
+	return b.groupClocks[gi]
+}
+
+// configureKV applies the run's block-granular KV options to a fresh
+// engine (no-op when KVBlockTokens is zero — the legacy token-counting
+// path stays byte-identical).
+func (b *eventBackend) configureKV(ie *instEngine) {
+	opts := b.s.opts
+	if opts.KVBlockTokens <= 0 {
+		return
+	}
+	ie.eng.ConfigureKV(engine.KVConfig{
+		BlockTokens:    opts.KVBlockTokens,
+		CapacityFactor: opts.KVCapacityFactor,
+		PrefixCache:    opts.KVPrefixCache,
+	})
 }
 
 // wire points an engine's callbacks at its own buffers. Nothing here may
@@ -278,6 +371,65 @@ func (b *eventBackend) wire(ie *instEngine) {
 			}
 		})
 	}
+	if b.s.opts.KVBlockTokens > 0 {
+		ie.eng.SetOnReject(func(r workload.Request) {
+			ie.fails = append(ie.fails, r)
+		})
+	}
+	if b.s.opts.Disagg && b.c.pools[ie.pool].Role == RolePrefill {
+		ie.eng.SetPrefillOnly(true)
+		ie.eng.SetOnHandoff(func(r workload.Request, ctx int) {
+			b.handoff(ie, r, ctx)
+		})
+	}
+}
+
+// handoff moves a prefilled request's KV cache to a decode instance of
+// the twin pool. It runs inside the group clock's stepping (possibly on a
+// pool worker), which is safe: everything it touches — the group's
+// engines, their buffers, the shared group clock — is owned by exactly
+// that worker for the duration of the step.
+func (b *eventBackend) handoff(ie *instEngine, r workload.Request, ctx int) {
+	te := b.decodeTarget(ie.pool)
+	if te == nil {
+		// No decode capacity at all: the frontend retries the request
+		// from scratch (merge drains the buffer into frontendFail).
+		ie.fails = append(ie.fails, r)
+		return
+	}
+	te.handoffsIn++
+	t := &kvTransfer{at: ie.clock.Now() + simclock.Time(kvTransferSeconds(b.s.opts.Model, ctx)), req: r, ctx: ctx}
+	te.transfers = append(te.transfers, t)
+	te.clock.At(t.at, func() {
+		if t.done {
+			return // target retired while the transfer was in flight
+		}
+		t.done = true
+		te.eng.SubmitDecode(t.req, t.ctx)
+	})
+}
+
+// decodeTarget picks the decode-twin instance with the shortest engine
+// queue among live, already-built engines (RunTo pre-builds them before
+// stepping, so a missing engine here means the twin pool has no usable
+// instance). Slice order breaks ties, keeping the choice deterministic.
+func (b *eventBackend) decodeTarget(pool int) *instEngine {
+	tw := b.c.pools[pool+b.c.pooling.NumPools]
+	var best *instEngine
+	bestQ := 0
+	for _, in := range tw.Instances {
+		if in.state == stateOff || in.ID >= len(b.engines) {
+			continue
+		}
+		te := b.engines[in.ID]
+		if te == nil {
+			continue
+		}
+		if q := te.eng.QueueLen(); best == nil || q < bestQ {
+			best, bestQ = te, q
+		}
+	}
+	return best
 }
 
 func (b *eventBackend) Admit(in *Instance, req *workload.Request, now simclock.Time) {
@@ -334,37 +486,62 @@ func (b *eventBackend) deliver(horizon simclock.Time) {
 // merge of the buffered results in instance-ID order.
 func (b *eventBackend) RunTo(tickEnd simclock.Time) {
 	b.deliver(tickEnd)
+	if b.s.opts.Disagg {
+		// Handoff callbacks fire while engines step (possibly on pool
+		// workers) and must not build engines — b.engines is shared
+		// state. Materialize every live decode engine serially first.
+		for _, p := range b.c.pools {
+			if p.Role != RoleDecode {
+				continue
+			}
+			for _, in := range p.Instances {
+				if in.state != stateOff {
+					b.engineFor(in)
+				}
+			}
+		}
+	}
 	b.stepAll(tickEnd, false)
 	b.now = tickEnd
 	b.merge()
 }
 
-// stepAll runs every live engine's agenda — to the tick boundary, or to
-// exhaustion when drain is set (Finish). With StepJobs > 1 the engines
-// are index-slotted across that many workers; each engine is stepped by
-// exactly one worker and touches only its own state and buffers, so the
+// stepAll runs every live clock's agenda — to the tick boundary, or to
+// exhaustion when drain is set (Finish). Normally each engine has its own
+// clock; under disaggregation a pool group (prefill + decode twins)
+// shares one. With StepJobs > 1 the distinct clocks are index-slotted
+// across that many workers; each clock is stepped by exactly one worker
+// and the engines on it touch only their own state and buffers, so the
 // result is byte-identical to the serial pass.
 func (b *eventBackend) stepAll(tickEnd simclock.Time, drain bool) {
-	b.stepList = b.stepList[:0]
-	for _, ie := range b.engines {
-		if ie != nil {
-			b.stepList = append(b.stepList, ie)
+	b.stepClocks = b.stepClocks[:0]
+	if b.s.opts.Disagg {
+		for _, clk := range b.groupClocks {
+			if clk != nil {
+				b.stepClocks = append(b.stepClocks, clk)
+			}
+		}
+	} else {
+		for _, ie := range b.engines {
+			if ie != nil {
+				b.stepClocks = append(b.stepClocks, ie.clock)
+			}
 		}
 	}
-	step := func(ie *instEngine) {
+	step := func(clk *simclock.Clock) {
 		if drain {
-			ie.clock.Run()
+			clk.Run()
 		} else {
-			ie.clock.RunUntil(tickEnd)
+			clk.RunUntil(tickEnd)
 		}
 	}
 	jobs := b.s.opts.StepJobs
-	if jobs > len(b.stepList) {
-		jobs = len(b.stepList)
+	if jobs > len(b.stepClocks) {
+		jobs = len(b.stepClocks)
 	}
 	if jobs <= 1 {
-		for _, ie := range b.stepList {
-			step(ie)
+		for _, clk := range b.stepClocks {
+			step(clk)
 		}
 		return
 	}
@@ -376,10 +553,10 @@ func (b *eventBackend) stepAll(tickEnd simclock.Time, drain bool) {
 			defer wg.Done()
 			for {
 				i := int(next.Add(1)) - 1
-				if i >= len(b.stepList) {
+				if i >= len(b.stepClocks) {
 					return
 				}
-				step(b.stepList[i])
+				step(b.stepClocks[i])
 			}
 		}()
 	}
@@ -416,6 +593,14 @@ func (b *eventBackend) merge() {
 			b.complete(&ie.dones[i])
 		}
 		ie.dones = ie.dones[:0]
+		// Requests the engine rejected (oversize for its KV pool) or
+		// whose handoff found no decode target go back through the
+		// frontend retry path — another instance or a later attempt may
+		// still serve them.
+		for i := range ie.fails {
+			b.sm.frontendFail(ie.fails[i], b.now)
+		}
+		ie.fails = ie.fails[:0]
 	}
 }
 
@@ -433,15 +618,51 @@ func (b *eventBackend) Advance(in *Instance, a *assign, now simclock.Time) float
 		ie.eng.SetFreq(f, stall)
 	}
 	// The controllers' backlog signal is the engine's real admission
-	// queue (sequences whose prefill has not started).
+	// queue (sequences whose prefill has not started, plus any preempted
+	// sequences waiting to re-enter).
 	in.backlog = float64(ie.eng.WaitingLen())
 	in.capEst = 0
 	ie.cls = workload.Classify(int(in.mixIn), int(in.mixOut))
+	b.settleKV(ie)
+	if ie.handoffsIn > 0 {
+		// Handed-off decode work never passes the router, so the rate
+		// EWMA — the load signal every controller reads — would decay to
+		// zero on decode instances. Fold the tick's received handoffs in
+		// at the same EWMA weight accountTick applies to routed work.
+		in.rate += 0.3 * float64(ie.handoffsIn) / b.s.opts.Tick
+		ie.handoffsIn = 0
+	}
+	if len(ie.transfers) > 0 {
+		// Compact completed KV transfers (serial phase; the list only
+		// matters for retirement failover and snapshot cloning).
+		kept := ie.transfers[:0]
+		for _, t := range ie.transfers {
+			if !t.done {
+				kept = append(kept, t)
+			}
+		}
+		for i := len(kept); i < len(ie.transfers); i++ {
+			ie.transfers[i] = nil
+		}
+		ie.transfers = kept
+	}
 
 	j := ie.eng.Energy()
 	tickJ := j - ie.lastJ
 	ie.lastJ = j
 	return tickJ / b.s.opts.Tick
+}
+
+// settleKV folds the engine's KV counter movement since the last settle
+// into the run totals (delta-based, so it is safe to call from both
+// Advance and the retirement/finish paths).
+func (b *eventBackend) settleKV(ie *instEngine) {
+	e := ie.eng
+	b.res.KVPreemptions += e.Preempted - ie.lastPre
+	b.res.KVPrefixHits += e.PrefixHits - ie.lastHits
+	b.res.KVRejected += e.KVRejected - ie.lastRej
+	b.res.Handoffs += e.Handoffs - ie.lastHand
+	ie.lastPre, ie.lastHits, ie.lastRej, ie.lastHand = e.Preempted, e.PrefixHits, e.KVRejected, e.Handoffs
 }
 
 func (b *eventBackend) Retire(in *Instance, now simclock.Time, graceful bool) {
@@ -454,6 +675,16 @@ func (b *eventBackend) Retire(in *Instance, now simclock.Time, graceful bool) {
 	}
 	b.engines[in.ID] = nil
 	in.backlog = 0
+	// In-flight KV transfers targeting this engine can never land: the
+	// scheduled arrival callback checks done and becomes a no-op, and the
+	// requests go to the frontend retry path like any other victim.
+	for _, t := range ie.transfers {
+		if !t.done {
+			t.done = true
+			b.sm.frontendFail(t.req, now)
+		}
+	}
+	ie.transfers = nil
 	if !graceful {
 		// Outage: in-flight work dies with the machine, but the frontend
 		// notices and retries each request against whatever capacity is
@@ -548,6 +779,7 @@ func (b *eventBackend) Finish(end simclock.Time) {
 // Carbon accounting integrates EnergySeries, so the series must never
 // miss joules the totals carry.
 func (b *eventBackend) settleEnergy(ie *instEngine, at simclock.Time) {
+	b.settleKV(ie)
 	j := ie.eng.Energy()
 	tickJ := j - ie.lastJ
 	ie.lastJ = j

@@ -111,6 +111,31 @@ type Options struct {
 	// (Fig. 11; 1.0 = oracle).
 	PredictorAccuracy float64
 
+	// Disagg splits every pool into a prefill pool and a decode pool
+	// (prefill/decode disaggregation): requests prefill and produce their
+	// first token on a prefill instance, then hand their KV cache to a
+	// decode instance of the twin pool, paying a modeled transfer cost.
+	// Disagg implies FidelityEvent (the fluid model has no per-request KV
+	// to hand off) and block-granular KV accounting (KVBlockTokens
+	// defaults to DefaultKVBlockTokens when unset).
+	Disagg bool
+
+	// KVBlockTokens enables block-granular KV-cache accounting in every
+	// event-fidelity engine: the paged-pool block size in tokens (16 is
+	// vLLM's default). Zero keeps the legacy token-counting admission
+	// path, which is byte-identical to pre-KV builds.
+	KVBlockTokens int
+
+	// KVCapacityFactor scales each engine's derived KV block capacity
+	// (capacity sweeps shrink it below 1 to provoke preemption). Zero or
+	// one means the full profile-derived capacity.
+	KVCapacityFactor float64
+
+	// KVPrefixCache enables the engine prompt-prefix cache: requests
+	// sharing a non-zero PromptGroup skip prefill work for the cached
+	// prefix. Only meaningful with KVBlockTokens > 0.
+	KVPrefixCache bool
+
 	// RetryBudget is the per-request frontend retry budget (§IV-D): how
 	// many times a squashed request (instance outage, pool with no
 	// capacity) re-enters the router before it is terminally dropped.
@@ -174,10 +199,22 @@ type RequestObserver interface {
 	RequestDone(req *workload.Request, ttft, tbt float64, met bool)
 }
 
+// DefaultKVBlockTokens is the KV block size installed when Disagg is set
+// without an explicit KVBlockTokens (vLLM's default page size).
+const DefaultKVBlockTokens = 16
+
 // withDefaults fills the paper's defaults.
 func (o Options) withDefaults() Options {
 	if o.Model == nil {
 		o.Model = model.Llama2_70B
+	}
+	if o.Disagg {
+		// Disaggregation needs per-request KV state: event fidelity and
+		// block accounting are not optional once pools are split.
+		o.Fidelity = FidelityEvent
+		if o.KVBlockTokens <= 0 {
+			o.KVBlockTokens = DefaultKVBlockTokens
+		}
 	}
 	if o.SLOScale < 1 {
 		o.SLOScale = 1

@@ -58,10 +58,11 @@ func TestEventCrossValidatesFluid(t *testing.T) {
 			t.Errorf("%s: routed %d requests fluid vs %d event (routing must be backend-independent)",
 				system, fluid.Requests, event.Requests)
 		}
-		// Every routed request is accounted: completed or squashed.
-		if got := event.Completed + event.Squashed; got < event.Requests {
-			t.Errorf("%s: event mode lost requests: completed %d + squashed %d < routed %d",
-				system, event.Completed, event.Squashed, event.Requests)
+		// Every routed request is accounted: completed, squashed, or shed.
+		for fid, res := range map[string]*Result{"fluid": fluid, "event": event} {
+			if err := res.CheckInvariants(); err != nil {
+				t.Errorf("%s/%s: %v", system, fid, err)
+			}
 		}
 		fa, ea := fluid.SLOAttainment(), event.SLOAttainment()
 		t.Logf("%s: SLO %.3f/%.3f  energy %.1f/%.1f kWh  ttft-p99 %.3f/%.3f s (fluid/event)",

@@ -156,6 +156,44 @@ func (l *Live) Result() *Result { return l.sm.res }
 // ActiveServers reports live capacity in 8-GPU server equivalents.
 func (l *Live) ActiveServers() int { return l.sm.ctl.ActiveServers() }
 
+// KVStats is the cluster's KV-cache occupancy and dynamics snapshot: pool
+// usage summed over live event engines plus the run's KV counters. Units
+// are blocks under block-granular accounting (Options.KVBlockTokens > 0)
+// and tokens under the legacy counting path; both are zero under fluid
+// fidelity, which has no per-request KV state.
+type KVStats struct {
+	UsedBlocks  int
+	TotalBlocks int
+	Preemptions int
+	PrefixHits  int
+	Rejected    int
+	Handoffs    int
+}
+
+// KVStats reports current KV occupancy and the run's KV counters. Like
+// Result, it must not be called concurrently with AdvanceTo/Inject/Finish;
+// between calls it reflects the last computed tick boundary.
+func (l *Live) KVStats() KVStats {
+	res := l.sm.res
+	st := KVStats{
+		Preemptions: res.KVPreemptions,
+		PrefixHits:  res.KVPrefixHits,
+		Rejected:    res.KVRejected,
+		Handoffs:    res.Handoffs,
+	}
+	if eb, ok := l.sm.s.backend.(*eventBackend); ok {
+		for _, ie := range eb.engines {
+			if ie == nil {
+				continue
+			}
+			u, c := ie.eng.KVUsage()
+			st.UsedBlocks += u
+			st.TotalBlocks += c
+		}
+	}
+	return st
+}
+
 // PriceMult returns the electricity-price multiplier currently in force.
 func (l *Live) PriceMult() float64 { return l.sm.s.priceMult }
 

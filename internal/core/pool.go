@@ -301,11 +301,35 @@ func (in *Instance) capacity(s *sharedState) float64 {
 
 // --- Pool -----------------------------------------------------------------------
 
+// PoolRole is a pool's place in a disaggregated deployment: unified pools
+// serve requests end to end (the default); under Options.Disagg each base
+// pool becomes prefill-only and gains a decode-only twin that finishes
+// generation after the KV handoff.
+type PoolRole int
+
+const (
+	RoleUnified PoolRole = iota
+	RolePrefill
+	RoleDecode
+)
+
+// String returns the role's display name.
+func (r PoolRole) String() string {
+	switch r {
+	case RolePrefill:
+		return "prefill"
+	case RoleDecode:
+		return "decode"
+	}
+	return "unified"
+}
+
 // Pool groups instances serving one request type (or a merged set).
 type Pool struct {
 	Index     int
 	Classes   []workload.Class
 	RepClass  workload.Class // largest member class, used for cold sizing
+	Role      PoolRole
 	Instances []*Instance
 	// spillFrac is the fraction of arrivals forwarded to the next-larger
 	// pool this epoch (fragmentation handling, §IV-B).
@@ -352,8 +376,13 @@ func (p *Pool) activeInstances(t simclock.Time) []*Instance {
 }
 
 // repClass returns the class used to size and profile the pool: its
-// largest member class (conservative for merged pools).
+// largest member class (conservative for merged pools). Decode twins sit
+// past the pooling tables (their Index is base + NumPools), so they
+// answer from the RepClass copied off their base pool.
 func (p *Pool) repClass(pooling *Pooling) workload.Class {
+	if p.Index >= pooling.NumPools {
+		return p.RepClass
+	}
 	return pooling.Largest(p.Index)
 }
 

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"fmt"
 	"math"
 
 	"dynamollm/internal/energy"
@@ -142,6 +143,15 @@ type Result struct {
 	// Per-true-class SLO accounting (diagnostics and Fig. 6 breakdown).
 	ClassRequests   [workload.NumClasses]int
 	ClassViolations [workload.NumClasses]int
+
+	// KV-cache dynamics (event fidelity with block-granular accounting):
+	// decode sequences preempted under KV pressure, prompt-prefix cache
+	// hits, admissions rejected because the request cannot fit even an
+	// empty pool, and prefill-to-decode handoffs under disaggregation.
+	KVPreemptions int
+	KVPrefixHits  int
+	KVRejected    int
+	Handoffs      int
 }
 
 // SLOAttainment returns the fraction of completed requests meeting SLOs.
@@ -154,6 +164,29 @@ func (r *Result) SLOAttainment() float64 {
 
 // EnergyKWh returns total energy in kWh.
 func (r *Result) EnergyKWh() float64 { return energy.KWh(r.EnergyJ) }
+
+// CheckInvariants verifies the result's accounting identities: request
+// conservation (every routed request reaches exactly one terminal state —
+// completed, terminally squashed, or shed) and the ordering relations
+// between the terminal counters. Tests assert it after every run; a
+// non-nil error means the simulation leaked or double-counted a request.
+func (r *Result) CheckInvariants() error {
+	if r.Requests != r.Completed+r.Squashed+r.Shed {
+		return fmt.Errorf("core: request conservation violated: Requests=%d != Completed=%d + Squashed=%d + Shed=%d",
+			r.Requests, r.Completed, r.Squashed, r.Shed)
+	}
+	if r.SLOMet > r.Completed {
+		return fmt.Errorf("core: SLOMet=%d exceeds Completed=%d", r.SLOMet, r.Completed)
+	}
+	if r.RetrySuccess > r.Completed {
+		return fmt.Errorf("core: RetrySuccess=%d exceeds Completed=%d", r.RetrySuccess, r.Completed)
+	}
+	if r.KVPreemptions < 0 || r.KVPrefixHits < 0 || r.KVRejected < 0 || r.Handoffs < 0 {
+		return fmt.Errorf("core: negative KV counter: preemptions=%d hits=%d rejected=%d handoffs=%d",
+			r.KVPreemptions, r.KVPrefixHits, r.KVRejected, r.Handoffs)
+	}
+	return nil
+}
 
 // Cluster is the simulated deployment under one control policy.
 type Cluster struct {
@@ -203,7 +236,52 @@ func NewCluster(opts Options, repo *profile.Repository) *Cluster {
 	for i := range c.pools {
 		c.pools[i] = &Pool{Index: i, Classes: c.pooling.poolClasses[i], RepClass: c.pooling.Largest(i)}
 	}
+	if opts.Disagg {
+		// Prefill/decode disaggregation: every base pool becomes
+		// prefill-only and gains a decode twin at index base + NumPools.
+		// The router and pooling tables keep addressing base pools only;
+		// twins are reached exclusively through the KV handoff, so the
+		// steering, merging, and spill logic is untouched.
+		base := len(c.pools)
+		for i := 0; i < base; i++ {
+			p := c.pools[i]
+			p.Role = RolePrefill
+			c.pools = append(c.pools, &Pool{
+				Index:    base + i,
+				Classes:  p.Classes,
+				RepClass: p.RepClass,
+				Role:     RoleDecode,
+			})
+		}
+	}
 	return c
+}
+
+// decodeTwin returns a prefill pool's decode twin. Pools are positionally
+// indexed (compactPools removes instances, never pools), so the twin sits
+// at base index + NumPools.
+func (c *Cluster) decodeTwin(p *Pool) *Pool {
+	return c.pools[p.Index+c.pooling.NumPools]
+}
+
+// splitNodes divides a logical pool's node budget between its prefill and
+// decode halves: prefill gets ~40% (prefill is compute-dense; decode holds
+// the long-lived KV), both clamped to at least one node so neither half
+// can strand the other. A one-node budget yields one node each — the
+// overage is the price of keeping a tiny disaggregated pool serviceable.
+func splitNodes(n int) (prefill, decode int) {
+	if n <= 0 {
+		return 0, 0
+	}
+	prefill = (2*n + 4) / 5
+	if prefill < 1 {
+		prefill = 1
+	}
+	decode = n - prefill
+	if decode < 1 {
+		decode = 1
+	}
+	return prefill, decode
 }
 
 // addInstance creates an instance in a pool. booted=false models VM
@@ -230,15 +308,15 @@ func (c *Cluster) staticProvision(tr trace.Trace) {
 	peaks := c.peakRates(tr)
 	if c.opts.NumPools == 1 {
 		// SinglePool: the paper fixes the server count (12 by default).
-		for i := 0; i < c.opts.Servers; i++ {
-			c.addInstance(c.pools[0], model.TP8, 0, true)
-		}
-		c.pools[0].targetGPUs = c.opts.Servers * 8
+		c.provisionBooted(c.pools[0], c.opts.Servers)
 		return
 	}
 	counts := make([]int, len(c.pools))
 	total := 0
 	for i, p := range c.pools {
+		if p.Role == RoleDecode {
+			continue // provisioned alongside its prefill twin below
+		}
 		rep := p.repClass(c.pooling)
 		// Provision for peak with burst headroom: 30-minute-epoch peaks
 		// hide shorter bursts.
@@ -254,7 +332,10 @@ func (c *Cluster) staticProvision(tr trace.Trace) {
 	// can only fragment, never shrink, the fleet — §V-B).
 	for total < c.opts.Servers {
 		best, bestLoad := 0, -1.0
-		for i := range c.pools {
+		for i, p := range c.pools {
+			if p.Role == RoleDecode {
+				continue
+			}
 			if load := peaks[i] / float64(counts[i]); load > bestLoad {
 				best, bestLoad = i, load
 			}
@@ -263,11 +344,33 @@ func (c *Cluster) staticProvision(tr trace.Trace) {
 		total++
 	}
 	for i, p := range c.pools {
-		for k := 0; k < counts[i]; k++ {
+		if p.Role == RoleDecode {
+			continue
+		}
+		c.provisionBooted(p, counts[i])
+	}
+}
+
+// provisionBooted adds n pre-booted TP8 nodes to a pool at t=0, splitting
+// the budget with the pool's decode twin under disaggregation.
+func (c *Cluster) provisionBooted(p *Pool, n int) {
+	if p.Role == RolePrefill {
+		pre, dec := splitNodes(n)
+		tw := c.decodeTwin(p)
+		for k := 0; k < pre; k++ {
 			c.addInstance(p, model.TP8, 0, true)
 		}
-		p.targetGPUs = counts[i] * 8
+		p.targetGPUs = pre * 8
+		for k := 0; k < dec; k++ {
+			c.addInstance(tw, model.TP8, 0, true)
+		}
+		tw.targetGPUs = dec * 8
+		return
 	}
+	for k := 0; k < n; k++ {
+		c.addInstance(p, model.TP8, 0, true)
+	}
+	p.targetGPUs = n * 8
 }
 
 // peakRates computes each pool's peak arrival rate over cluster epochs.
@@ -614,6 +717,7 @@ func (sm *simulation) step(tick int) {
 		sm.reqs = append(sm.reqs, workload.Request{
 			ID:           sm.arrivals,
 			Tag:          e.Tag,
+			PromptGroup:  e.PromptGroup,
 			Arrival:      e.At,
 			InputTokens:  e.InputTokens,
 			OutputTokens: e.OutputTokens,
@@ -897,10 +1001,14 @@ func (sm *simulation) accountTick(now simclock.Time) {
 		freqNum += pFreqNum
 		freqDen += pFreqDen
 
-		// Feed the load predictor.
-		for _, cls := range p.Classes {
-			share := float64(p.arrivalsThisTick) / opts.Tick / float64(len(p.Classes))
-			s.loadPred.Observe(now, cls, share)
+		// Feed the load predictor. Decode twins see no router arrivals —
+		// feeding their permanent zeros would dilute the class template
+		// with duplicate observations.
+		if p.Role != RoleDecode {
+			for _, cls := range p.Classes {
+				share := float64(p.arrivalsThisTick) / opts.Tick / float64(len(p.Classes))
+				s.loadPred.Observe(now, cls, share)
+			}
 		}
 		p.arrivalsThisTick = 0
 	}
@@ -1297,9 +1405,14 @@ func (c *Cluster) clusterManagerEpoch(now simclock.Time, res *Result) {
 		pl    float64
 		ml    float64
 	}
-	// First pass: raw demand forecast per pool.
+	// First pass: raw demand forecast per pool. Decode twins carry no
+	// router arrivals — their budget rides along with the prefill twin's
+	// in resizePool, so they are skipped throughout.
 	raw := make([]float64, len(c.pools))
 	for i, p := range c.pools {
+		if p.Role == RoleDecode {
+			continue
+		}
 		var pl float64
 		if c.opts.ReducedOverheads {
 			// Predictive sizing: forecast the epoch's peak (§IV-C
@@ -1346,6 +1459,9 @@ func (c *Cluster) clusterManagerEpoch(now simclock.Time, res *Result) {
 	}
 	wants := make([]want, 0, len(c.pools))
 	for i, p := range c.pools {
+		if p.Role == RoleDecode {
+			continue
+		}
 		p.merged = merged[i]
 		pl := raw[i]
 		if p.merged {
@@ -1409,9 +1525,25 @@ func (c *Cluster) clusterManagerEpoch(now simclock.Time, res *Result) {
 	}
 }
 
-// resizePool adjusts a pool's node count, pre-warming on scale-out and
-// draining on scale-in.
+// resizePool adjusts a pool's node budget. Unified pools resize directly;
+// a prefill pool splits the budget with its decode twin (~40/60 — prefill
+// is compute-dense, decode holds the long-lived KV) so the cluster
+// manager keeps reasoning about one logical pool per request type.
 func (c *Cluster) resizePool(p *Pool, nodes int, now simclock.Time, res *Result) {
+	if p.Role == RolePrefill {
+		tw := c.decodeTwin(p)
+		tw.merged = p.merged
+		pre, dec := splitNodes(nodes)
+		c.resizePoolNodes(p, pre, now, res)
+		c.resizePoolNodes(tw, dec, now, res)
+		return
+	}
+	c.resizePoolNodes(p, nodes, now, res)
+}
+
+// resizePoolNodes adjusts one physical pool's node count, pre-warming on
+// scale-out and draining on scale-in.
+func (c *Cluster) resizePoolNodes(p *Pool, nodes int, now simclock.Time, res *Result) {
 	p.targetGPUs = nodes * 8
 	cur := 0
 	for _, in := range p.Instances {

@@ -160,26 +160,69 @@ func cloneInstance(in *Instance) *Instance {
 
 // cloneFor copies the event backend's state onto a cloned cluster: each
 // live engine round-trips through engine.Snapshot/FromSnapshot onto a
-// fresh private clock, and undelivered submissions are remapped to the
-// cloned instances.
+// fresh clock (private normally, one shared clock per pool group under
+// disaggregation), in-flight KV transfers are re-scheduled against the
+// cloned engines, and undelivered submissions are remapped to the cloned
+// instances.
 func (b *eventBackend) cloneFor(nc *Cluster, nr *Result, instMap map[*Instance]*Instance) *eventBackend {
 	nb := newEventBackend(nc, nr)
 	nb.now = b.now
+	if n := len(b.groupClocks); n > 0 {
+		nb.groupClocks = make([]*simclock.Clock, n)
+		for gi, clk := range b.groupClocks {
+			if clk == nil {
+				continue
+			}
+			nclk := simclock.New()
+			nclk.RunUntil(b.now)
+			nb.groupClocks[gi] = nclk
+		}
+	}
 	nb.engines = make([]*instEngine, len(b.engines))
 	for id, ie := range b.engines {
 		if ie == nil {
 			continue
 		}
-		clk := simclock.New()
-		clk.RunUntil(b.now)
+		var clk *simclock.Clock
+		if nc.opts.Disagg {
+			clk = nb.groupClocks[ie.pool%nc.pooling.NumPools]
+		} else {
+			clk = simclock.New()
+			clk.RunUntil(b.now)
+		}
 		nie := &instEngine{
-			eng:   engine.FromSnapshot(ie.eng.Snapshot(), clk),
-			clock: clk,
-			lastJ: ie.lastJ,
-			cls:   ie.cls,
+			eng:        engine.FromSnapshot(ie.eng.Snapshot(), clk),
+			clock:      clk,
+			pool:       ie.pool,
+			lastJ:      ie.lastJ,
+			cls:        ie.cls,
+			lastPre:    ie.lastPre,
+			lastHits:   ie.lastHits,
+			lastRej:    ie.lastRej,
+			lastHand:   ie.lastHand,
+			handoffsIn: ie.handoffsIn,
 		}
 		nb.wire(nie)
 		nb.engines[id] = nie
+		// Re-arm in-flight KV transfers: their arrival events live on the
+		// original clock, not in any engine snapshot, so the clone must
+		// re-schedule them (the fork would otherwise silently drop every
+		// handoff that was mid-transfer at the cut).
+		for _, t := range ie.transfers {
+			if t.done {
+				continue
+			}
+			nt := &kvTransfer{at: t.at, req: t.req, ctx: t.ctx}
+			nie.transfers = append(nie.transfers, nt)
+			te := nie
+			clk.At(nt.at, func() {
+				if nt.done {
+					return
+				}
+				nt.done = true
+				te.eng.SubmitDecode(nt.req, nt.ctx)
+			})
+		}
 	}
 	if len(b.pending) > 0 {
 		nb.pending = make([]pendingSub, 0, len(b.pending))

@@ -46,6 +46,17 @@ type seqState struct {
 	produced int
 	// ctx is resident KV tokens.
 	ctx int
+	// kvBlocks is the number of KV blocks the sequence holds under
+	// block-granular accounting (kv.go); always 0 on the legacy path.
+	kvBlocks int
+	// prefixTokens is the prompt prefix covered by a shared prefix-cache
+	// entry rather than the sequence's own blocks.
+	prefixTokens int
+	// noPrefix bars the sequence from taking a prefix-cache hit: set on
+	// preemption so recompute-on-resume owns its whole context (a resume
+	// re-hitting an entry only it kept alive would cycle forever at the
+	// block boundary it already could not cross).
+	noPrefix bool
 	// enqueued is when the request entered the engine.
 	enqueued simclock.Time
 	// lastToken is when the sequence's most recent token was produced;
@@ -78,6 +89,28 @@ type Engine struct {
 	running     bool
 	frozenUntil simclock.Time
 
+	// Block-granular KV accounting (kv.go). kvBlocksCap == 0 keeps the
+	// legacy token-granular path above bit-for-bit.
+	kv           KVConfig
+	kvBlocksCap  int
+	kvBlocksUsed int
+	// preempted holds decode sequences evicted under KV pressure; they
+	// re-enter admission (re-prefilling their recomputed context) with
+	// strict priority over the waiting queue. preHead mirrors waitHead.
+	preempted []*seqState
+	preHead   int
+	// prefixMap/prefixList are the prompt-prefix cache: map for lookup,
+	// list in insertion order for deterministic oldest-first eviction
+	// (map iteration order must never drive behaviour).
+	prefixMap  map[uint64]*prefixEntry
+	prefixList []*prefixEntry
+	freePrefix []*prefixEntry
+	// prefillOnly marks the prefill side of a disaggregated pair:
+	// sequences hand off (onHandoff) right after their first token.
+	prefillOnly bool
+	onHandoff   func(req workload.Request, ctx int)
+	onReject    func(workload.Request)
+
 	meter *energy.Meter
 
 	// free is the seqState pool; finished or drained sequences return
@@ -102,6 +135,11 @@ type Engine struct {
 	Completed int
 	// TokensIn/TokensOut audit conservation.
 	TokensIn, TokensOut int
+	// KV dynamics counters (block accounting only).
+	Preempted  int // decode sequences evicted under KV pressure
+	PrefixHits int // admissions that reused a cached prompt prefix
+	KVRejected int // requests whose KV footprint can never fit
+	Handoffs   int // prefill→decode migrations (disaggregated mode)
 
 	// onComplete, if set, is called as requests finish.
 	onComplete func(*workload.Request)
@@ -208,6 +246,9 @@ func (e *Engine) SetFreq(f gpu.Freq, stall float64) {
 func (e *Engine) Reconfigure(cfg perfmodel.Config) {
 	e.Cfg = cfg
 	e.kvCapacity = cfg.Model.KVCapacityTokens(cfg.TP)
+	if e.kv.BlockTokens > 0 {
+		e.deriveKVBlocks()
+	}
 }
 
 // Drain removes every incomplete request from the engine, handing each to
@@ -227,6 +268,17 @@ func (e *Engine) Drain(fn func(workload.Request)) int {
 	}
 	e.waiting = e.waiting[:0]
 	e.waitHead = 0
+	for i := e.preHead; i < len(e.preempted); i++ {
+		st := e.preempted[i]
+		if fn != nil {
+			fn(*st.req)
+		}
+		e.preempted[i] = nil
+		e.putState(st)
+		n++
+	}
+	e.preempted = e.preempted[:0]
+	e.preHead = 0
 	for i, st := range e.active {
 		if fn != nil {
 			fn(*st.req)
@@ -237,6 +289,10 @@ func (e *Engine) Drain(fn func(workload.Request)) int {
 	}
 	e.active = e.active[:0]
 	e.kvTokens = 0
+	if e.kvBlocksCap > 0 {
+		e.clearPrefix()
+		e.kvBlocksUsed = 0
+	}
 	return n
 }
 
@@ -246,11 +302,12 @@ func (e *Engine) Energy() float64 {
 }
 
 // QueueLen reports requests not yet finished.
-func (e *Engine) QueueLen() int { return len(e.waiting) - e.waitHead + len(e.active) }
+func (e *Engine) QueueLen() int { return len(e.waiting) - e.waitHead + e.preLen() + len(e.active) }
 
-// WaitingLen reports requests whose prefill has not started — the
-// admission backlog the cluster's instance manager watches.
-func (e *Engine) WaitingLen() int { return len(e.waiting) - e.waitHead }
+// WaitingLen reports requests whose (re-)prefill has not started — the
+// admission backlog the cluster's instance manager watches, including
+// preempted sequences awaiting re-admission.
+func (e *Engine) WaitingLen() int { return len(e.waiting) - e.waitHead + e.preLen() }
 
 // kick schedules the next iteration if the engine is idle and has work.
 func (e *Engine) kick() {
@@ -276,32 +333,55 @@ func (e *Engine) iterate() {
 	// respecting KV capacity.
 	budget := perfmodel.PrefillChunk
 	prefillTokens := 0
-	for e.waitHead < len(e.waiting) && budget > 0 {
-		st := e.waiting[e.waitHead]
-		chunk := st.prefillLeft
-		if chunk > budget {
-			chunk = budget
+	if e.kvBlocksCap > 0 {
+		// Block-granular path: preempted sequences resume first, then
+		// the waiting queue; every chunk is gated on free blocks and
+		// each active sequence is guaranteed a block for this
+		// iteration's token (preempting the youngest under pressure).
+		prefillTokens = e.admitBlocks(&budget)
+		e.reserveDecode()
+		// reserveDecode can evict or reject the very sequences admission
+		// just placed, emptying the batch while their freed blocks would
+		// let queued work in. Going idle here would strand that work
+		// forever (no external event frees blocks once nothing runs), so
+		// re-admit until the batch is live or admission stops moving.
+		// Terminates: every productive round consumes chunk budget.
+		for len(e.active) == 0 && e.WaitingLen() > 0 {
+			more := e.admitBlocks(&budget)
+			e.reserveDecode()
+			prefillTokens += more
+			if more == 0 && len(e.active) == 0 {
+				break
+			}
 		}
-		if e.kvTokens+float64(chunk) > e.kvCapacity {
-			break // KV full: sequence waits
+	} else {
+		for e.waitHead < len(e.waiting) && budget > 0 {
+			st := e.waiting[e.waitHead]
+			chunk := st.prefillLeft
+			if chunk > budget {
+				chunk = budget
+			}
+			if e.kvTokens+float64(chunk) > e.kvCapacity {
+				break // KV full: sequence waits
+			}
+			st.prefillLeft -= chunk
+			st.ctx += chunk
+			e.kvTokens += float64(chunk)
+			prefillTokens += chunk
+			budget -= chunk
+			if st.prefillLeft == 0 {
+				// Prompt fully processed: joins the decode batch; first
+				// token appears at the end of this iteration.
+				e.active = append(e.active, st)
+				e.waiting[e.waitHead] = nil
+				e.waitHead++
+			}
 		}
-		st.prefillLeft -= chunk
-		st.ctx += chunk
-		e.kvTokens += float64(chunk)
-		prefillTokens += chunk
-		budget -= chunk
-		if st.prefillLeft == 0 {
-			// Prompt fully processed: joins the decode batch; first
-			// token appears at the end of this iteration.
-			e.active = append(e.active, st)
-			e.waiting[e.waitHead] = nil
-			e.waitHead++
+		if e.waitHead == len(e.waiting) {
+			// Queue empty: rewind so the backing array is reused.
+			e.waiting = e.waiting[:0]
+			e.waitHead = 0
 		}
-	}
-	if e.waitHead == len(e.waiting) {
-		// Queue empty: rewind so the backing array is reused.
-		e.waiting = e.waiting[:0]
-		e.waitHead = 0
 	}
 
 	// Batch composition.
@@ -345,7 +425,9 @@ func (e *Engine) finishIteration() {
 	for _, st := range e.active {
 		st.produced++
 		st.ctx++
-		e.kvTokens++
+		if e.kvBlocksCap == 0 {
+			e.kvTokens++
+		}
 		e.TokensOut++
 		if st.produced == 1 {
 			// A drained-and-resubmitted request already produced its
@@ -370,9 +452,25 @@ func (e *Engine) finishIteration() {
 		if e.onToken != nil {
 			e.onToken(st.req, st.produced, end)
 		}
+		if e.prefillOnly && st.produced == 1 && st.produced < st.req.OutputTokens {
+			// Disaggregated prefill: the first token marks prefill done;
+			// the sequence decodes elsewhere. Its blocks free here — the
+			// transfer cost is modeled by the handoff receiver.
+			e.releaseSeq(st)
+			e.Handoffs++
+			if e.onHandoff != nil {
+				e.onHandoff(*st.req, st.ctx)
+			}
+			e.putState(st)
+			continue
+		}
 		if st.produced >= st.req.OutputTokens {
 			st.req.Finish = end
-			e.kvTokens -= float64(st.ctx)
+			if e.kvBlocksCap > 0 {
+				e.releaseSeq(st)
+			} else {
+				e.kvTokens -= float64(st.ctx)
+			}
 			e.Completed++
 			if e.onComplete != nil {
 				// The pointer is valid for the duration of the call

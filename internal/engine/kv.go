@@ -1,0 +1,441 @@
+package engine
+
+import "dynamollm/internal/workload"
+
+// Block-granular KV-cache accounting.
+//
+// The legacy engine path tracks KV occupancy as a float token count against
+// the profile-derived capacity and can therefore neither preempt nor share
+// prefixes. ConfigureKV switches the engine to a vLLM-style paged pool:
+// capacity is a whole number of fixed-size blocks, admission allocates
+// blocks for each prefill chunk, decode growth reserves a block whenever a
+// sequence crosses a block boundary, and pressure is resolved by preempting
+// the youngest decode sequences (their KV is dropped; they re-prefill their
+// recomputed context when re-admitted, prompt plus produced tokens, which
+// is the recompute-on-resume policy from the vLLM paper). Requests sharing
+// a non-zero PromptGroup can reuse a cached prompt prefix: the first
+// sequence of a group to finish prefill publishes its prompt blocks into a
+// prefix cache; later arrivals skip the covered prompt tokens entirely.
+//
+// With BlockTokens == 0 (the default) none of this code runs and the
+// legacy token-granular path is preserved bit-for-bit; with blocks enabled
+// but capacity effectively unbounded, admission makes the same decisions
+// as the legacy path and the event stream is identical — the cross-
+// fidelity compat test pins both properties.
+
+// KVConfig selects block-granular KV accounting for an engine.
+type KVConfig struct {
+	// BlockTokens is the page size in tokens; <= 0 disables block
+	// accounting (legacy float path).
+	BlockTokens int
+	// Blocks fixes the pool size directly; 0 derives it from the model's
+	// profile-derived KV capacity for the engine's TP degree.
+	Blocks int
+	// CapacityFactor scales the derived capacity (ignored when Blocks is
+	// set); <= 0 means 1.0. The kv sweep uses it to shrink memory.
+	CapacityFactor float64
+	// PrefixCache enables prompt-prefix sharing across a PromptGroup.
+	PrefixCache bool
+}
+
+// prefixEntry is one cached prompt prefix, shared by every sequence of a
+// PromptGroup. Entries hold their own blocks; refs counts live sequences
+// currently relying on the entry (unreferenced entries are evictable).
+type prefixEntry struct {
+	group  uint64
+	tokens int
+	blocks int
+	refs   int
+}
+
+// ConfigureKV switches the engine to block-granular KV accounting (or back
+// to the legacy token-granular path with a zero config). Call it before
+// submitting work; Reconfigure re-derives the pool size on re-shard.
+func (e *Engine) ConfigureKV(kv KVConfig) {
+	if kv.BlockTokens <= 0 {
+		e.kv = KVConfig{}
+		e.kvBlocksCap = 0
+		return
+	}
+	e.kv = kv
+	e.deriveKVBlocks()
+	if kv.PrefixCache && e.prefixMap == nil {
+		e.prefixMap = make(map[uint64]*prefixEntry)
+	}
+}
+
+// deriveKVBlocks sizes the block pool from the config: an explicit Blocks
+// override, or the model's KV capacity for the current TP degree scaled by
+// CapacityFactor. The pool is never smaller than one block.
+func (e *Engine) deriveKVBlocks() {
+	blocks := e.kv.Blocks
+	if blocks <= 0 {
+		factor := e.kv.CapacityFactor
+		if factor <= 0 {
+			factor = 1
+		}
+		blocks = int(e.Cfg.Model.KVCapacityTokens(e.Cfg.TP) * factor / float64(e.kv.BlockTokens))
+	}
+	if blocks < 1 {
+		blocks = 1
+	}
+	e.kvBlocksCap = blocks
+}
+
+// SetPrefillOnly marks the engine as the prefill side of a disaggregated
+// pair: sequences are handed off (SetOnHandoff) right after their first
+// token instead of decoding locally. Single-token requests still complete
+// in place.
+func (e *Engine) SetPrefillOnly(v bool) { e.prefillOnly = v }
+
+// SetOnHandoff registers the prefill→decode handoff callback, invoked with
+// a by-value copy of the request and its resident context (prompt + first
+// token) when a prefill-only engine retires a sequence for remote decode.
+func (e *Engine) SetOnHandoff(fn func(req workload.Request, ctx int)) { e.onHandoff = fn }
+
+// SetOnReject registers the rejection callback, invoked with a by-value
+// copy of any request whose KV footprint can never fit the pool (the
+// cluster backend routes these back to the frontend retry path). Without a
+// callback rejected requests are dropped and only counted.
+func (e *Engine) SetOnReject(fn func(workload.Request)) { e.onReject = fn }
+
+// KVUsage reports KV occupancy: blocks used and pool size under block
+// accounting, resident tokens and token capacity on the legacy path.
+func (e *Engine) KVUsage() (used, capacity int) {
+	if e.kvBlocksCap > 0 {
+		return e.kvBlocksUsed, e.kvBlocksCap
+	}
+	return int(e.kvTokens), int(e.kvCapacity)
+}
+
+// SubmitDecode enqueues a request whose prefill (and first token) already
+// happened on a prefill-only engine: the sequence enters the admission
+// queue with its context resident-to-be and zero prefill left, so the next
+// iteration allocates its blocks and it decodes from token two. TokensIn
+// is not re-counted — the prefill engine did. Requires block accounting.
+func (e *Engine) SubmitDecode(req workload.Request, ctx int) {
+	if e.kvBlocksCap == 0 {
+		panic("engine: SubmitDecode requires block-granular KV (ConfigureKV)")
+	}
+	st := e.getState()
+	st.owned = req
+	st.req = &st.owned
+	st.prefillLeft = 0
+	st.produced = 1
+	st.ctx = ctx
+	st.enqueued = e.clock.Now()
+	st.lastToken = req.FirstToken
+	e.enqueue(st)
+}
+
+// blocksFor is the block footprint of a token count.
+func blocksFor(tokens, blockTokens int) int {
+	if tokens <= 0 {
+		return 0
+	}
+	return (tokens + blockTokens - 1) / blockTokens
+}
+
+// preLen is the number of preempted sequences awaiting re-admission.
+func (e *Engine) preLen() int { return len(e.preempted) - e.preHead }
+
+// takeBlocks allocates n blocks, evicting unreferenced prefix-cache
+// entries if the pool is short. It reports whether the allocation fit.
+func (e *Engine) takeBlocks(n int) bool {
+	if e.kvBlocksUsed+n > e.kvBlocksCap && !e.reclaimBlocks(n) {
+		return false
+	}
+	e.kvBlocksUsed += n
+	return true
+}
+
+// reclaimBlocks evicts unreferenced prefix entries, oldest first, until n
+// blocks are free. It reports whether it got there.
+func (e *Engine) reclaimBlocks(n int) bool {
+	if len(e.prefixList) == 0 {
+		return false
+	}
+	kept := e.prefixList[:0]
+	for _, pe := range e.prefixList {
+		if pe.refs > 0 || e.kvBlocksCap-e.kvBlocksUsed >= n {
+			kept = append(kept, pe)
+			continue
+		}
+		e.kvBlocksUsed -= pe.blocks
+		delete(e.prefixMap, pe.group)
+		e.putPrefix(pe)
+	}
+	for i := len(kept); i < len(e.prefixList); i++ {
+		e.prefixList[i] = nil
+	}
+	e.prefixList = kept
+	return e.kvBlocksCap-e.kvBlocksUsed >= n
+}
+
+// getPrefix takes a prefixEntry from the pool (or allocates one).
+func (e *Engine) getPrefix() *prefixEntry {
+	if n := len(e.freePrefix); n > 0 {
+		pe := e.freePrefix[n-1]
+		e.freePrefix[n-1] = nil
+		e.freePrefix = e.freePrefix[:n-1]
+		return pe
+	}
+	return &prefixEntry{}
+}
+
+// putPrefix returns an evicted prefixEntry to the pool.
+func (e *Engine) putPrefix(pe *prefixEntry) {
+	*pe = prefixEntry{}
+	e.freePrefix = append(e.freePrefix, pe)
+}
+
+// derefPrefix drops a sequence's reference on its prefix-cache entry.
+func (e *Engine) derefPrefix(st *seqState) {
+	if st.prefixTokens == 0 {
+		return
+	}
+	if pe := e.prefixMap[st.req.PromptGroup]; pe != nil {
+		pe.refs--
+	}
+	st.prefixTokens = 0
+}
+
+// releaseSeq returns a sequence's blocks (and prefix reference) to the
+// pool on completion, handoff, or drain.
+func (e *Engine) releaseSeq(st *seqState) {
+	e.kvBlocksUsed -= st.kvBlocks
+	st.kvBlocks = 0
+	e.derefPrefix(st)
+}
+
+// rejectSeq drops a request whose KV footprint can never fit the pool,
+// releasing anything it held and handing a copy to the reject callback.
+func (e *Engine) rejectSeq(st *seqState) {
+	e.releaseSeq(st)
+	e.KVRejected++
+	if e.onReject != nil {
+		e.onReject(*st.req)
+	}
+	e.putState(st)
+}
+
+// preemptSeq evicts an active decode sequence under KV pressure: its
+// blocks are freed and it re-enters admission with prefillLeft set to its
+// full recomputed context (prompt + produced tokens). TTFT was already
+// recorded; the TBT gap spanning the preemption is charged honestly.
+// The resume never re-takes a prefix-cache hit: a sequence preempted
+// while sharing an entry it alone kept alive would otherwise re-hit the
+// same entry, run out of room at the same block boundary, and cycle
+// forever; owning its whole context makes the oversize check terminal.
+func (e *Engine) preemptSeq(st *seqState) {
+	e.releaseSeq(st)
+	st.prefillLeft = st.req.InputTokens + st.produced
+	st.ctx = 0
+	st.noPrefix = true
+	e.Preempted++
+	e.preempted = append(e.preempted, st)
+}
+
+// rollbackSeq releases the blocks a queued sequence holds for a chunked
+// prefill spanning iterations, resetting it to re-prefill from scratch
+// when it next reaches admission. Reclaiming under pressure must be able
+// to take these back: a blocked queue head squatting on blocks while
+// higher-priority work waits for exactly those blocks is the classic KV
+// deadlock. Reports whether anything was freed.
+func (e *Engine) rollbackSeq(st *seqState) bool {
+	if st.kvBlocks == 0 && st.prefixTokens == 0 {
+		return false
+	}
+	st.prefillLeft += st.ctx
+	st.ctx = 0
+	e.kvBlocksUsed -= st.kvBlocks
+	st.kvBlocks = 0
+	e.derefPrefix(st)
+	return true
+}
+
+// rollbackWaitingHead reclaims the waiting queue head's partial
+// admission, if any — the lowest-priority block holder.
+func (e *Engine) rollbackWaitingHead() bool {
+	if e.waitHead < len(e.waiting) {
+		return e.rollbackSeq(e.waiting[e.waitHead])
+	}
+	return false
+}
+
+// rollbackPreemptedHead reclaims the preempted queue head's partial
+// re-admission; only active sequences outrank it.
+func (e *Engine) rollbackPreemptedHead() bool {
+	if e.preHead < len(e.preempted) {
+		return e.rollbackSeq(e.preempted[e.preHead])
+	}
+	return false
+}
+
+// removeActive splices index i out of the active batch, preserving order
+// (oldest first — the preemption policy depends on it).
+func (e *Engine) removeActive(i int) {
+	copy(e.active[i:], e.active[i+1:])
+	e.active[len(e.active)-1] = nil
+	e.active = e.active[:len(e.active)-1]
+}
+
+// maybeInsertPrefix publishes a finished prefill's prompt blocks into the
+// prefix cache, if the sequence belongs to a group, did not itself hit the
+// cache, the group is not yet cached, and spare blocks exist (the cache
+// never displaces live work — copy-on-insert, skipped under pressure).
+func (e *Engine) maybeInsertPrefix(st *seqState) {
+	if !e.kv.PrefixCache || st.req.PromptGroup == 0 || st.prefixTokens > 0 {
+		return
+	}
+	if _, ok := e.prefixMap[st.req.PromptGroup]; ok {
+		return
+	}
+	blocks := blocksFor(st.req.InputTokens, e.kv.BlockTokens)
+	if e.kvBlocksUsed+blocks > e.kvBlocksCap {
+		return
+	}
+	e.kvBlocksUsed += blocks
+	pe := e.getPrefix()
+	pe.group, pe.tokens, pe.blocks = st.req.PromptGroup, st.req.InputTokens, blocks
+	e.prefixMap[pe.group] = pe
+	e.prefixList = append(e.prefixList, pe)
+}
+
+// admitBlocks is the block-granular admission pass: preempted sequences
+// resume first (strict priority — newly waiting work never starves a
+// preempted sequence of the blocks it needs to make progress), then the
+// FIFO waiting queue, every chunk gated on free blocks.
+func (e *Engine) admitBlocks(budget *int) int {
+	// The preempted queue may reclaim the waiting head's partial
+	// admission (steal): resuming sequences outrank new prefills, and
+	// without the rollback a blocked resume would starve forever behind
+	// blocks the lower-priority head already grabbed.
+	prefill, blocked := e.admitQueue(&e.preempted, &e.preHead, budget, e.rollbackWaitingHead)
+	if !blocked {
+		more, _ := e.admitQueue(&e.waiting, &e.waitHead, budget, nil)
+		prefill += more
+	}
+	return prefill
+}
+
+// admitQueue admits from one FIFO queue under the shared chunk budget,
+// allocating blocks as context grows. steal, if non-nil, reclaims blocks
+// from a lower-priority holder when the pool is full. It returns the
+// prefill tokens scheduled and whether it stopped on a full pool
+// (head-of-line blocking: later queues must not steal the blocks the
+// head is waiting for).
+func (e *Engine) admitQueue(q *[]*seqState, head *int, budget *int, steal func() bool) (prefill int, blocked bool) {
+	for *head < len(*q) && *budget > 0 {
+		st := (*q)[*head]
+		// Lazily apply a prefix-cache hit before the first chunk: skip
+		// the covered prompt tokens, sharing the entry's blocks.
+		if e.kv.PrefixCache && st.ctx == 0 && st.req.PromptGroup != 0 && !st.noPrefix {
+			if pe := e.prefixMap[st.req.PromptGroup]; pe != nil {
+				skip := pe.tokens
+				if skip > st.prefillLeft {
+					skip = st.prefillLeft
+				}
+				if skip > 0 {
+					st.prefillLeft -= skip
+					st.ctx += skip
+					st.prefixTokens = skip
+					pe.refs++
+					e.PrefixHits++
+				}
+			}
+		}
+		chunk := st.prefillLeft
+		if chunk > *budget {
+			chunk = *budget
+		}
+		need := blocksFor(st.ctx+chunk-st.prefixTokens, e.kv.BlockTokens)
+		if need > e.kvBlocksCap {
+			// Can never fit, even with the whole pool free: reject
+			// rather than deadlock behind an unsatisfiable head.
+			(*q)[*head] = nil
+			*head++
+			e.rejectSeq(st)
+			continue
+		}
+		if alloc := need - st.kvBlocks; alloc > 0 {
+			ok := e.takeBlocks(alloc)
+			for !ok && steal != nil && steal() {
+				ok = e.takeBlocks(alloc)
+			}
+			if !ok {
+				blocked = true
+				break // pool full: FIFO head waits
+			}
+			st.kvBlocks = need
+		}
+		st.prefillLeft -= chunk
+		st.ctx += chunk
+		prefill += chunk
+		*budget -= chunk
+		if st.prefillLeft == 0 {
+			e.maybeInsertPrefix(st)
+			e.active = append(e.active, st)
+			(*q)[*head] = nil
+			*head++
+		}
+	}
+	if *head == len(*q) {
+		*q = (*q)[:0]
+		*head = 0
+	}
+	return prefill, blocked
+}
+
+// reserveDecode guarantees every active sequence a block for the token it
+// produces this iteration. Under pressure it evicts unreferenced prefix
+// entries first, then preempts the youngest active sequences; a sequence
+// whose next token can never fit the whole pool is rejected. The loop
+// terminates because every failed allocation reclaims a queue head's
+// partial admission or removes a sequence from the batch (possibly the
+// needy one itself, which then resumes via the preempted queue once
+// blocks free up).
+func (e *Engine) reserveDecode() {
+	for i := 0; i < len(e.active); i++ {
+		st := e.active[i]
+		need := blocksFor(st.ctx+1-st.prefixTokens, e.kv.BlockTokens)
+		if need <= st.kvBlocks {
+			continue
+		}
+		if need > e.kvBlocksCap {
+			e.removeActive(i)
+			i--
+			e.rejectSeq(st)
+			continue
+		}
+		selfGone := false
+		for !e.takeBlocks(need - st.kvBlocks) {
+			if e.rollbackWaitingHead() || e.rollbackPreemptedHead() {
+				continue
+			}
+			j := len(e.active) - 1
+			v := e.active[j]
+			e.removeActive(j)
+			e.preemptSeq(v)
+			if v == st {
+				selfGone = true
+				break
+			}
+		}
+		if selfGone {
+			i--
+			continue
+		}
+		st.kvBlocks = need
+	}
+}
+
+// clearPrefix drops the whole prefix cache (drain path).
+func (e *Engine) clearPrefix() {
+	for i, pe := range e.prefixList {
+		delete(e.prefixMap, pe.group)
+		e.putPrefix(pe)
+		e.prefixList[i] = nil
+	}
+	e.prefixList = e.prefixList[:0]
+}

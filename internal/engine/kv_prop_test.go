@@ -1,0 +1,354 @@
+package engine
+
+import (
+	"testing"
+
+	"dynamollm/internal/gpu"
+	"dynamollm/internal/model"
+	"dynamollm/internal/simclock"
+	"dynamollm/internal/workload"
+)
+
+// Property suite for block-granular KV accounting: conservation at every
+// event boundary, no blocks leaked past completion, guaranteed progress
+// under the tightest possible pool, and snapshot round-trips that carry
+// the full preemption/prefix state. These are the invariants the cluster
+// layers build on — a violation here surfaces as a deadlocked drain or a
+// silent capacity drift three packages away.
+
+// heldBlocks sums the blocks attributable to some holder: sequences in
+// every queue plus prefix-cache entries. Conservation demands this equals
+// the pool's used counter exactly — an untracked block is a leak, a
+// double-counted one is phantom capacity.
+func heldBlocks(e *Engine) int {
+	held := 0
+	for _, st := range e.active {
+		held += st.kvBlocks
+	}
+	for i := e.waitHead; i < len(e.waiting); i++ {
+		held += e.waiting[i].kvBlocks
+	}
+	for i := e.preHead; i < len(e.preempted); i++ {
+		held += e.preempted[i].kvBlocks
+	}
+	for _, pe := range e.prefixList {
+		held += pe.blocks
+	}
+	return held
+}
+
+func checkKVConservation(t *testing.T, e *Engine) {
+	t.Helper()
+	if e.kvBlocksUsed < 0 || e.kvBlocksUsed > e.kvBlocksCap {
+		t.Fatalf("t=%v: used blocks %d outside pool [0, %d]", e.clock.Now(), e.kvBlocksUsed, e.kvBlocksCap)
+	}
+	if held := heldBlocks(e); held != e.kvBlocksUsed {
+		t.Fatalf("t=%v: conservation broken: holders sum to %d, pool says %d used",
+			e.clock.Now(), held, e.kvBlocksUsed)
+	}
+}
+
+// kvPropReqs is a deterministic mixed workload. The first dozen requests
+// alternate between two prompt groups in a tight burst, so followers
+// arrive while the published prefix is still cached (an unreferenced
+// entry is evicted the moment the pool saturates); the tail is ungrouped
+// churn that drives the pool into preemption.
+func kvPropReqs(n int, seed uint64) []workload.Request {
+	rng := simclock.NewRNG(seed)
+	reqs := make([]workload.Request, n)
+	at := simclock.Time(0)
+	for i := range reqs {
+		at += simclock.Time(rng.Float64() * 0.25)
+		reqs[i] = workload.Request{
+			Arrival:      at,
+			InputTokens:  32 + rng.Intn(600),
+			OutputTokens: 2 + rng.Intn(100),
+		}
+		if i < 12 {
+			g := uint64(1 + i%2)
+			reqs[i].PromptGroup = g
+			reqs[i].InputTokens = 200 + int(g)*40
+		}
+	}
+	return reqs
+}
+
+// TestKVPropConservation: allocated+free equals capacity at every event
+// boundary of a pressured run with preemption and prefix sharing both
+// active, and after the drain nothing is held at all.
+func TestKVPropConservation(t *testing.T) {
+	clk := simclock.New()
+	eng := New(cfg70(model.TP4, 1600), clk)
+	eng.ConfigureKV(KVConfig{BlockTokens: 16, Blocks: 64, PrefixCache: true})
+	reqs := kvPropReqs(80, 17)
+	scheduleFrom(clk, eng, reqs, -1)
+	// The check rides a fine periodic event: engine state only mutates
+	// inside iteration events, so every firing observes a boundary. The
+	// periodic event keeps the heap non-empty, so run to a horizon past
+	// the workload, cancel, then drain whatever remains.
+	cancel := clk.Every(0.01, func() { checkKVConservation(t, eng) })
+	clk.RunUntil(120)
+	cancel()
+	clk.Run()
+
+	checkKVConservation(t, eng)
+	if eng.Completed+eng.KVRejected != len(reqs) {
+		t.Fatalf("requests lost: %d completed + %d rejected of %d",
+			eng.Completed, eng.KVRejected, len(reqs))
+	}
+	if eng.QueueLen() != 0 {
+		t.Fatalf("queue not drained: %d", eng.QueueLen())
+	}
+	if eng.Preempted == 0 {
+		t.Error("64-block pool produced no preemptions; workload not pressuring")
+	}
+	// All sequences gone: only prefix-cache entries may still hold blocks.
+	if seqHeld := eng.kvBlocksUsed - func() int {
+		n := 0
+		for _, pe := range eng.prefixList {
+			n += pe.blocks
+		}
+		return n
+	}(); seqHeld != 0 {
+		t.Errorf("%d blocks still held by finished sequences", seqHeld)
+	}
+	eng.Drain(nil)
+	if eng.kvBlocksUsed != 0 {
+		t.Errorf("%d blocks leaked past drain", eng.kvBlocksUsed)
+	}
+}
+
+// TestKVPropNoLeakWithoutPrefix: with the prefix cache off, the only
+// legitimate holders are live sequences, so a fully completed run must
+// land at exactly zero used blocks without any drain.
+func TestKVPropNoLeakWithoutPrefix(t *testing.T) {
+	clk := simclock.New()
+	eng := New(cfg70(model.TP4, 1600), clk)
+	eng.ConfigureKV(KVConfig{BlockTokens: 16, Blocks: 96})
+	reqs := kvPropReqs(60, 29)
+	scheduleFrom(clk, eng, reqs, -1)
+	clk.Run()
+	if eng.Completed+eng.KVRejected != len(reqs) {
+		t.Fatalf("requests lost: %d completed + %d rejected of %d",
+			eng.Completed, eng.KVRejected, len(reqs))
+	}
+	if eng.kvBlocksUsed != 0 {
+		t.Errorf("%d blocks held after all sequences finished", eng.kvBlocksUsed)
+	}
+}
+
+// TestKVPropProgressAtOneBlock is the deadlock property at its tightest:
+// a single-block pool, contending sequences that fit it, and one that
+// never can. Every fitting request must complete (sequences serialize
+// through the block via preemption), the oversize one must be rejected —
+// and the run must terminate, which is the property the rollback paths
+// exist for (clock.Run returning at all is the assertion).
+func TestKVPropProgressAtOneBlock(t *testing.T) {
+	clk := simclock.New()
+	eng := New(cfg70(model.TP8, gpu.MaxFreq), clk)
+	eng.ConfigureKV(KVConfig{BlockTokens: 16, Blocks: 1})
+	fitting := 6
+	for i := 0; i < fitting; i++ {
+		at := simclock.Time(float64(i) * 0.01)
+		r := workload.Request{Arrival: at, InputTokens: 6, OutputTokens: 4}
+		clk.At(at, func() { eng.SubmitCopy(r) })
+	}
+	clk.At(0.02, func() {
+		eng.SubmitCopy(workload.Request{Arrival: 0.02, InputTokens: 40, OutputTokens: 4})
+	})
+	clk.Run()
+	if eng.Completed != fitting {
+		t.Errorf("completed %d of %d block-sized requests", eng.Completed, fitting)
+	}
+	if eng.KVRejected != 1 {
+		t.Errorf("oversize request: rejected %d, want 1", eng.KVRejected)
+	}
+	if eng.kvBlocksUsed != 0 {
+		t.Errorf("%d blocks held after the run", eng.kvBlocksUsed)
+	}
+}
+
+// TestKVPropPrefixSelfReference pins the pathological shape the noPrefix
+// rule exists for: a cached prefix plus a sequence relying on it fill the
+// pool exactly, so the sequence cannot cross its next block boundary
+// while sharing. The run must terminate with the request either completed
+// (resumed on its own blocks) or rejected — never spinning.
+func TestKVPropPrefixSelfReference(t *testing.T) {
+	clk := simclock.New()
+	eng := New(cfg70(model.TP8, gpu.MaxFreq), clk)
+	// Prompt of 32 tokens = 2 blocks cached; 5-block pool. The follower
+	// hits the cache, then needs 32+out tokens of its own as it decodes.
+	eng.ConfigureKV(KVConfig{BlockTokens: 16, Blocks: 5, PrefixCache: true})
+	a := workload.Request{Arrival: 0, InputTokens: 32, OutputTokens: 2, PromptGroup: 9}
+	b := workload.Request{Arrival: 0.5, InputTokens: 32, OutputTokens: 60, PromptGroup: 9}
+	clk.At(0, func() { eng.SubmitCopy(a) })
+	clk.At(0.5, func() { eng.SubmitCopy(b) })
+	clk.Run()
+	if eng.Completed+eng.KVRejected != 2 {
+		t.Fatalf("requests lost: %d completed + %d rejected of 2", eng.Completed, eng.KVRejected)
+	}
+	if eng.PrefixHits == 0 {
+		t.Error("follower never hit the prefix cache; scenario not exercised")
+	}
+	checkKVConservation(t, eng)
+}
+
+// kvFP extends the engine fingerprint with the KV dynamics counters and
+// occupancy two engines must also agree on.
+type kvFP struct {
+	engineFingerprint
+	Preempted, PrefixHits, KVRejected, Handoffs int
+	UsedBlocks                                  int
+}
+
+func kvFingerprint(e *Engine) kvFP {
+	return kvFP{
+		engineFingerprint: engFP(e),
+		Preempted:         e.Preempted,
+		PrefixHits:        e.PrefixHits,
+		KVRejected:        e.KVRejected,
+		Handoffs:          e.Handoffs,
+		UsedBlocks:        e.kvBlocksUsed,
+	}
+}
+
+// TestKVSnapshotRoundTrip: snapshot a pressured engine at cut points that
+// straddle prefix publication, active preemption churn, and the drain
+// tail; each restore must finish bit-identical to the uninterrupted run,
+// preempted queue and prefix cache included.
+func TestKVSnapshotRoundTrip(t *testing.T) {
+	cfg := cfg70(model.TP4, 1600)
+	// Large enough that early prefills publish prefix entries (insertion
+	// needs spare blocks), small enough that the later pile-up preempts.
+	kv := KVConfig{BlockTokens: 16, Blocks: 120, PrefixCache: true}
+	reqs := kvPropReqs(70, 41)
+
+	refClk := simclock.New()
+	ref := New(cfg, refClk)
+	ref.ConfigureKV(kv)
+	scheduleFrom(refClk, ref, reqs, -1)
+	refClk.Run()
+	want := kvFingerprint(ref)
+	if ref.Preempted == 0 || ref.PrefixHits == 0 {
+		t.Fatalf("reference run exercised no pressure: %d preempted, %d hits",
+			ref.Preempted, ref.PrefixHits)
+	}
+
+	for _, cut := range []simclock.Time{0.4, 2.0, 6.5} {
+		clk := simclock.New()
+		eng := New(cfg, clk)
+		eng.ConfigureKV(kv)
+		scheduleFrom(clk, eng, reqs, -1)
+		clk.RunUntil(cut)
+		snap := eng.Snapshot()
+
+		clk2 := simclock.New()
+		clk2.RunUntil(cut)
+		eng2 := FromSnapshot(snap, clk2)
+		scheduleFrom(clk2, eng2, reqs, cut)
+		clk2.Run()
+		if got := kvFingerprint(eng2); got != want {
+			t.Errorf("cut %v: restored != uninterrupted:\n restored %+v\n want     %+v", cut, got, want)
+		}
+
+		clk.Run()
+		if got := kvFingerprint(eng); got != want {
+			t.Errorf("cut %v: snapshotting perturbed the source:\n got  %+v\n want %+v", cut, got, want)
+		}
+	}
+}
+
+// TestKVSnapshotCarriesPreemptedState: a snapshot taken while sequences
+// sit in the preempted queue must restore them — queue order, recompute
+// footprints, and the noPrefix bar included (checked structurally, then
+// behaviourally by running to completion).
+func TestKVSnapshotCarriesPreemptedState(t *testing.T) {
+	cfg := cfg70(model.TP4, 1600)
+	kv := KVConfig{BlockTokens: 16, Blocks: 24, PrefixCache: true}
+	reqs := kvPropReqs(50, 53)
+
+	clk := simclock.New()
+	eng := New(cfg, clk)
+	eng.ConfigureKV(kv)
+	scheduleFrom(clk, eng, reqs, -1)
+	var cut simclock.Time
+	for probe := simclock.Time(0.2); probe < 20 && cut == 0; probe += 0.2 {
+		clk.RunUntil(probe)
+		if eng.preLen() > 0 {
+			cut = probe
+		}
+	}
+	if cut == 0 {
+		t.Fatal("never caught a sequence in the preempted queue; pool too large")
+	}
+	snap := eng.Snapshot()
+	if len(snap.PreemptedQ) != eng.preLen() {
+		t.Fatalf("snapshot carries %d preempted, engine holds %d", len(snap.PreemptedQ), eng.preLen())
+	}
+	for i, q := range snap.PreemptedQ {
+		if !q.NoPrefix {
+			t.Errorf("preempted[%d] lost its noPrefix bar in the snapshot", i)
+		}
+	}
+
+	clk2 := simclock.New()
+	clk2.RunUntil(cut)
+	eng2 := FromSnapshot(snap, clk2)
+	scheduleFrom(clk2, eng2, reqs, cut)
+	clk2.Run()
+	clk.Run()
+	if got, want := kvFingerprint(eng2), kvFingerprint(eng); got != want {
+		t.Errorf("restore-with-preempted diverged:\n restored %+v\n source   %+v", got, want)
+	}
+}
+
+// TestKVPropDisaggHandoff: a prefill-only engine hands every multi-token
+// sequence to the decode side right after its first token and retains no
+// blocks for it; the decode engine finishes the work under its own pool
+// accounting. Conservation holds on both engines throughout.
+func TestKVPropDisaggHandoff(t *testing.T) {
+	clk := simclock.New()
+	pre := New(cfg70(model.TP4, 1600), clk)
+	dec := New(cfg70(model.TP4, 1600), clk)
+	pre.ConfigureKV(KVConfig{BlockTokens: 16, Blocks: 64})
+	dec.ConfigureKV(KVConfig{BlockTokens: 16, Blocks: 64})
+	pre.SetPrefillOnly(true)
+	pre.SetOnHandoff(func(r workload.Request, ctx int) { dec.SubmitDecode(r, ctx) })
+	reqs := kvPropReqs(40, 61)
+	scheduleFrom(clk, pre, reqs, -1)
+	cancel := clk.Every(0.01, func() {
+		checkKVConservation(t, pre)
+		checkKVConservation(t, dec)
+	})
+	clk.RunUntil(120)
+	cancel()
+	clk.Run()
+
+	single := 0
+	for _, r := range reqs {
+		if r.OutputTokens == 1 {
+			single++
+		}
+	}
+	if pre.Handoffs != len(reqs)-single {
+		t.Errorf("prefill side handed off %d of %d multi-token requests", pre.Handoffs, len(reqs)-single)
+	}
+	if pre.Completed != single {
+		t.Errorf("prefill side completed %d, want only the %d single-token requests", pre.Completed, single)
+	}
+	if dec.Completed+dec.KVRejected != pre.Handoffs {
+		t.Errorf("decode side: %d completed + %d rejected of %d handoffs",
+			dec.Completed, dec.KVRejected, pre.Handoffs)
+	}
+	if pre.kvBlocksUsed != 0 || dec.kvBlocksUsed != 0 {
+		t.Errorf("blocks held after drain: prefill %d, decode %d", pre.kvBlocksUsed, dec.kvBlocksUsed)
+	}
+	// A handed-off request's output tokens split across the two engines.
+	total := 0
+	for _, r := range reqs {
+		total += r.OutputTokens
+	}
+	if rejectedTokens := total - (pre.TokensOut + dec.TokensOut); dec.KVRejected == 0 && rejectedTokens != 0 {
+		t.Errorf("token conservation across handoff: %d produced of %d", pre.TokensOut+dec.TokensOut, total)
+	}
+}

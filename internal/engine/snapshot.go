@@ -14,12 +14,24 @@ import (
 // request itself is stored by value: a restored engine always owns its
 // requests (SubmitCopy semantics), never a pointer into caller storage.
 type SeqSnapshot struct {
-	Req         workload.Request
-	PrefillLeft int
-	Produced    int
-	Ctx         int
-	Enqueued    simclock.Time
-	LastToken   simclock.Time
+	Req          workload.Request
+	PrefillLeft  int
+	Produced     int
+	Ctx          int
+	KVBlocks     int
+	PrefixTokens int
+	NoPrefix     bool
+	Enqueued     simclock.Time
+	LastToken    simclock.Time
+}
+
+// PrefixSnapshot captures one prompt-prefix cache entry, in the cache's
+// insertion (eviction) order.
+type PrefixSnapshot struct {
+	Group  uint64
+	Tokens int
+	Blocks int
+	Refs   int
 }
 
 // Snapshot is a self-contained copy of an Engine at a quiescent instant:
@@ -45,22 +57,39 @@ type Snapshot struct {
 	IterEnd     simclock.Time
 	NextStart   simclock.Time
 
-	TTFT      *metrics.Dist
-	TBT       *metrics.Dist
-	Completed int
-	TokensIn  int
-	TokensOut int
-	Meter     *energy.Meter
+	// Block-granular KV state (zero value when block accounting is off).
+	// PreemptedQ is the re-admission queue; Prefix the prompt cache in
+	// eviction order. The callbacks (handoff, reject) are rewired by the
+	// caller like the other callbacks.
+	KV           KVConfig
+	KVBlocksUsed int
+	PrefillOnly  bool
+	PreemptedQ   []SeqSnapshot
+	Prefix       []PrefixSnapshot
+
+	TTFT       *metrics.Dist
+	TBT        *metrics.Dist
+	Completed  int
+	TokensIn   int
+	TokensOut  int
+	Preempted  int
+	PrefixHits int
+	KVRejected int
+	Handoffs   int
+	Meter      *energy.Meter
 }
 
 func snapSeq(st *seqState) SeqSnapshot {
 	return SeqSnapshot{
-		Req:         *st.req,
-		PrefillLeft: st.prefillLeft,
-		Produced:    st.produced,
-		Ctx:         st.ctx,
-		Enqueued:    st.enqueued,
-		LastToken:   st.lastToken,
+		Req:          *st.req,
+		PrefillLeft:  st.prefillLeft,
+		Produced:     st.produced,
+		Ctx:          st.ctx,
+		KVBlocks:     st.kvBlocks,
+		PrefixTokens: st.prefixTokens,
+		NoPrefix:     st.noPrefix,
+		Enqueued:     st.enqueued,
+		LastToken:    st.lastToken,
 	}
 }
 
@@ -69,24 +98,43 @@ func snapSeq(st *seqState) SeqSnapshot {
 // cluster backend that is any tick boundary, right after RunTo.
 func (e *Engine) Snapshot() *Snapshot {
 	s := &Snapshot{
-		Cfg:         e.Cfg,
-		Now:         e.clock.Now(),
-		KVTokens:    e.kvTokens,
-		Running:     e.running,
-		FrozenUntil: e.frozenUntil,
-		IterEnd:     e.iterEnd,
-		NextStart:   e.nextStart,
-		TTFT:        e.TTFT.Clone(),
-		TBT:         e.TBT.Clone(),
-		Completed:   e.Completed,
-		TokensIn:    e.TokensIn,
-		TokensOut:   e.TokensOut,
-		Meter:       e.meter.Clone(),
+		Cfg:          e.Cfg,
+		Now:          e.clock.Now(),
+		KVTokens:     e.kvTokens,
+		Running:      e.running,
+		FrozenUntil:  e.frozenUntil,
+		IterEnd:      e.iterEnd,
+		NextStart:    e.nextStart,
+		TTFT:         e.TTFT.Clone(),
+		TBT:          e.TBT.Clone(),
+		Completed:    e.Completed,
+		TokensIn:     e.TokensIn,
+		TokensOut:    e.TokensOut,
+		Preempted:    e.Preempted,
+		PrefixHits:   e.PrefixHits,
+		KVRejected:   e.KVRejected,
+		Handoffs:     e.Handoffs,
+		KV:           e.kv,
+		KVBlocksUsed: e.kvBlocksUsed,
+		PrefillOnly:  e.prefillOnly,
+		Meter:        e.meter.Clone(),
 	}
-	if n := e.WaitingLen(); n > 0 {
+	if n := len(e.waiting) - e.waitHead; n > 0 {
 		s.Waiting = make([]SeqSnapshot, 0, n)
 		for i := e.waitHead; i < len(e.waiting); i++ {
 			s.Waiting = append(s.Waiting, snapSeq(e.waiting[i]))
+		}
+	}
+	if n := e.preLen(); n > 0 {
+		s.PreemptedQ = make([]SeqSnapshot, 0, n)
+		for i := e.preHead; i < len(e.preempted); i++ {
+			s.PreemptedQ = append(s.PreemptedQ, snapSeq(e.preempted[i]))
+		}
+	}
+	if n := len(e.prefixList); n > 0 {
+		s.Prefix = make([]PrefixSnapshot, 0, n)
+		for _, pe := range e.prefixList {
+			s.Prefix = append(s.Prefix, PrefixSnapshot{Group: pe.group, Tokens: pe.tokens, Blocks: pe.blocks, Refs: pe.refs})
 		}
 	}
 	if len(e.active) > 0 {
@@ -105,6 +153,9 @@ func restoreSeq(e *Engine, q SeqSnapshot) *seqState {
 	st.prefillLeft = q.PrefillLeft
 	st.produced = q.Produced
 	st.ctx = q.Ctx
+	st.kvBlocks = q.KVBlocks
+	st.prefixTokens = q.PrefixTokens
+	st.noPrefix = q.NoPrefix
 	st.enqueued = q.Enqueued
 	st.lastToken = q.LastToken
 	return st
@@ -135,11 +186,32 @@ func FromSnapshot(s *Snapshot, clock *simclock.Clock) *Engine {
 		Completed:   s.Completed,
 		TokensIn:    s.TokensIn,
 		TokensOut:   s.TokensOut,
+		Preempted:   s.Preempted,
+		PrefixHits:  s.PrefixHits,
+		KVRejected:  s.KVRejected,
+		Handoffs:    s.Handoffs,
+		prefillOnly: s.PrefillOnly,
 	}
 	e.onIterStart = e.iterate
 	e.onIterEnd = e.finishIteration
+	if s.KV.BlockTokens > 0 {
+		e.ConfigureKV(s.KV)
+		e.kvBlocksUsed = s.KVBlocksUsed
+		if len(s.Prefix) > 0 && e.prefixMap == nil {
+			e.prefixMap = make(map[uint64]*prefixEntry)
+		}
+		for _, p := range s.Prefix {
+			pe := e.getPrefix()
+			pe.group, pe.tokens, pe.blocks, pe.refs = p.Group, p.Tokens, p.Blocks, p.Refs
+			e.prefixMap[pe.group] = pe
+			e.prefixList = append(e.prefixList, pe)
+		}
+	}
 	for _, q := range s.Waiting {
 		e.waiting = append(e.waiting, restoreSeq(e, q))
+	}
+	for _, q := range s.PreemptedQ {
+		e.preempted = append(e.preempted, restoreSeq(e, q))
 	}
 	for _, q := range s.Active {
 		e.active = append(e.active, restoreSeq(e, q))

@@ -50,6 +50,10 @@ type Config struct {
 	// Orthogonal to Parallelism — that fans out whole simulations, this
 	// parallelizes inside one — and equally invisible in the results.
 	StepJobs int
+	// Disagg splits every pool of every cluster simulation into a prefill
+	// pool and a decode pool with a modeled KV-transfer handoff
+	// (core.Options.Disagg); implies event fidelity.
+	Disagg bool
 }
 
 // Default returns the standard harness configuration.
@@ -300,6 +304,7 @@ func (c Config) systemOptions(name string, mutate func(*core.Options)) (core.Opt
 	opts.Seed = c.Seed
 	opts.Fidelity = c.Fidelity
 	opts.StepJobs = c.StepJobs
+	opts.Disagg = c.Disagg
 	opts.WarmLoad = c.warm(trace.Conversation, trace.OpenSourceHourStart)
 	if mutate != nil {
 		mutate(&opts)

@@ -64,9 +64,8 @@ func runEventScenarios(t *testing.T, c Config, scs []*scenario.Scenario) string 
 		if res.Requests == 0 || res.Completed == 0 {
 			t.Errorf("scenario %q served nothing under event fidelity", r.Scenario.Name)
 		}
-		if got := res.Completed + res.Squashed; got < res.Requests {
-			t.Errorf("scenario %q lost requests: %d completed + %d squashed < %d routed",
-				r.Scenario.Name, res.Completed, res.Squashed, res.Requests)
+		if err := res.CheckInvariants(); err != nil {
+			t.Errorf("scenario %q: %v", r.Scenario.Name, err)
 		}
 		b.WriteString(RenderScenario(r))
 	}

@@ -1,0 +1,99 @@
+package expt
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestKVSweepTrends pins the KV sweep's two acceptance properties on the
+// quick grid: goodput falls monotonically as the KV capacity factor
+// shrinks, and the prefix-share cell converts shared prompts into cache
+// hits that reduce TTFT versus the plain full-capacity cell. Runs two
+// systems to keep the event-fidelity cost bounded while still covering an
+// autoscaling and a static policy.
+func TestKVSweepTrends(t *testing.T) {
+	if testing.Short() {
+		t.Skip("event-fidelity cluster simulations")
+	}
+	c := quickCfg()
+	c.PeakRPS = 5
+	systems := []string{"multipool", "dynamollm"}
+	points, err := c.KVRuns(systems)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 5 { // 3 capacity cells + 1 prefix cell + 1 disagg cell
+		t.Fatalf("quick grid has %d cells, want 5", len(points))
+	}
+	find := func(p KVPoint, name string) SystemRun {
+		for _, run := range p.Systems {
+			if run.Name == name {
+				return run
+			}
+		}
+		t.Fatalf("cell capacity=%g prefix=%g disagg=%v missing system %s",
+			p.CapacityFactor, p.PrefixShare, p.Disagg, name)
+		return SystemRun{}
+	}
+	for _, p := range points {
+		for _, run := range p.Systems {
+			if err := run.Result.CheckInvariants(); err != nil {
+				t.Errorf("capacity=%g prefix=%g disagg=%v %s: %v",
+					p.CapacityFactor, p.PrefixShare, p.Disagg, run.Name, err)
+			}
+		}
+	}
+	for _, name := range systems {
+		// Capacity cells appear in shrinking order; goodput may not rise.
+		prev := 2.0
+		for _, p := range points {
+			if p.PrefixShare != 0 || p.Disagg {
+				continue
+			}
+			g := Goodput(find(p, name).Result)
+			if g > prev+1e-9 {
+				t.Errorf("%s: goodput rose to %.4f at capacity %g (was %.4f at larger capacity)",
+					name, g, p.CapacityFactor, prev)
+			}
+			prev = g
+		}
+	}
+	var plain, prefix, disagg *KVPoint
+	for i := range points {
+		p := &points[i]
+		switch {
+		case p.Disagg:
+			disagg = p
+		case p.PrefixShare > 0:
+			prefix = p
+		case p.CapacityFactor == 1:
+			plain = p
+		}
+	}
+	if plain == nil || prefix == nil || disagg == nil {
+		t.Fatal("grid missing the plain, prefix, or disagg cell")
+	}
+	for _, name := range systems {
+		pr, pl := find(*prefix, name).Result, find(*plain, name).Result
+		if pr.KVPrefixHits == 0 {
+			t.Errorf("%s: prefix cell recorded no cache hits", name)
+		}
+		if pr.TTFT.Mean() >= pl.TTFT.Mean() {
+			t.Errorf("%s: prefix cache did not reduce mean TTFT (%.4fs with hits vs %.4fs plain)",
+				name, pr.TTFT.Mean(), pl.TTFT.Mean())
+		}
+		dr := find(*disagg, name).Result
+		if dr.Handoffs == 0 {
+			t.Errorf("%s: disagg cell recorded no prefill-to-decode handoffs", name)
+		}
+		if dr.Handoffs > dr.Requests {
+			t.Errorf("%s: %d handoffs exceed %d routed requests", name, dr.Handoffs, dr.Requests)
+		}
+	}
+	out := RenderKV(points)
+	for _, want := range []string{"capacity -> goodput", "prefix share", "disagg=true"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("RenderKV output missing %q", want)
+		}
+	}
+}

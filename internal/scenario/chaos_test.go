@@ -80,9 +80,8 @@ func TestLibraryConservationCrossFidelity(t *testing.T) {
 			opts.Fidelity = fid
 			opts.Hook = s.Hook(7)
 			res := core.RunWithRepo(tr, opts, repo)
-			if res.Requests != res.Completed+res.Squashed+res.Shed {
-				t.Errorf("%s/%s: conservation violated: %d routed != %d completed + %d squashed + %d shed",
-					s.Name, fid, res.Requests, res.Completed, res.Squashed, res.Shed)
+			if err := res.CheckInvariants(); err != nil {
+				t.Errorf("%s/%s: %v", s.Name, fid, err)
 			}
 			if res.RetrySuccess > res.Retried {
 				t.Errorf("%s/%s: %d retry successes > %d retries", s.Name, fid, res.RetrySuccess, res.Retried)

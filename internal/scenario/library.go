@@ -82,6 +82,19 @@ func Library() []*Scenario {
 			},
 		},
 		{
+			Name:        "cache-thrash",
+			Description: "prefix-cache whiplash: two shared prompt templates, then a fan-out to 64 distinct templates that churns the cache",
+			Service:     "conversation",
+			StartHours:  32, // Tuesday 08:00
+			Days:        0.25,
+			Events: []Event{
+				// Cache-friendly phase: 80% of requests share 2 templates.
+				{Kind: CacheThrash, AtHours: 0, DurationHours: 3, Fraction: 0.8, Groups: 2},
+				// Thrash phase: the same share spread over 64 templates.
+				{Kind: CacheThrash, AtHours: 3, DurationHours: 3, Fraction: 0.8, Groups: 64},
+			},
+		},
+		{
 			Name:        "mixed-week",
 			Description: "a week on the Coding service with everything at once: SLO crunch, flash crowd, agent-launch mix shift, rack outage, weekend price surge",
 			Service:     "coding",

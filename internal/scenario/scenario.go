@@ -78,6 +78,12 @@ const (
 	// event window — a transient network or gateway slowdown between the
 	// frontend and the instances.
 	Blip Kind = "blip"
+
+	// CacheThrash tags a Fraction of the window's requests with shared
+	// prompt groups (Groups distinct ones): few groups concentrate reuse
+	// the engines' prefix caches exploit, many groups cycle distinct
+	// prefixes through the cache and thrash it. Trace-level.
+	CacheThrash Kind = "cache-thrash"
 )
 
 // Event is one injected condition on the scenario timeline. Times are in
@@ -120,6 +126,9 @@ type Event struct {
 	SlowFactor float64 `json:"slow_factor,omitempty"`
 	// DelaySeconds is a blip's added frontend submission latency.
 	DelaySeconds float64 `json:"delay_seconds,omitempty"`
+	// Groups is how many distinct prompt groups a cache-thrash event
+	// spreads its tagged requests over.
+	Groups int `json:"prompt_groups,omitempty"`
 }
 
 // window returns the event's [from, to) in simulation seconds.
@@ -140,15 +149,45 @@ func (k Kind) Runtime() bool {
 	return false
 }
 
+// badNum reports a value no field may carry: NaN slips through one-sided
+// comparisons (NaN <= 0 is false), and infinities turn window arithmetic
+// and expansion loops degenerate. Both must be rejected explicitly.
+func badNum(vs ...float64) bool {
+	for _, v := range vs {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return true
+		}
+	}
+	return false
+}
+
 // ValidateEvent checks the fields an event's kind requires, independent
 // of any scenario trace window. Scenario.Validate adds the window bounds
 // on top; the live serving session validates injected events with this
-// alone.
+// alone. Besides kind-specific ranges it enforces the global sanity
+// bounds that keep hostile inputs (fuzzed or operator typos) from
+// expanding into unbounded work: no NaN/Inf anywhere, amplification
+// capped, and stochastic fault windows capped in expected crash count.
 func ValidateEvent(e Event) error {
+	if badNum(e.AtHours, e.DurationHours, e.RateMult, e.Fraction, e.PriceMult,
+		e.SLOFactor, e.MTBFHours, e.RepairHours, e.SlowFactor, e.DelaySeconds) {
+		return fmt.Errorf("numeric fields must be finite")
+	}
+	for _, w := range e.ClassWeights {
+		if badNum(w) || w < 0 {
+			return fmt.Errorf("class_weights must be finite and non-negative")
+		}
+	}
+	if e.Fraction < 0 || e.Fraction > 1 {
+		return fmt.Errorf("fraction must be in [0, 1]")
+	}
 	switch e.Kind {
 	case Spike:
 		if e.RateMult <= 0 {
 			return fmt.Errorf("rate_mult must be positive")
+		}
+		if e.RateMult > 1000 {
+			return fmt.Errorf("rate_mult %v exceeds the 1000x amplification cap", e.RateMult)
 		}
 		if e.DurationHours <= 0 {
 			return fmt.Errorf("duration_hours must be positive")
@@ -193,6 +232,10 @@ func ValidateEvent(e Event) error {
 		if e.DurationHours <= 0 {
 			return fmt.Errorf("duration_hours must be positive")
 		}
+		if e.DurationHours/e.MTBFHours > 1e5 {
+			return fmt.Errorf("faults window expands to ~%.0f expected crashes (cap 100000)",
+				e.DurationHours/e.MTBFHours)
+		}
 	case Rack:
 		if e.Servers <= 0 {
 			return fmt.Errorf("servers must be positive")
@@ -216,6 +259,16 @@ func ValidateEvent(e Event) error {
 		}
 		if e.DurationHours <= 0 {
 			return fmt.Errorf("duration_hours must be positive")
+		}
+	case CacheThrash:
+		if e.DurationHours <= 0 {
+			return fmt.Errorf("duration_hours must be positive")
+		}
+		if e.Groups <= 0 {
+			return fmt.Errorf("prompt_groups must be positive")
+		}
+		if e.Groups > 1<<20 {
+			return fmt.Errorf("prompt_groups %d exceeds the 2^20 cap", e.Groups)
 		}
 	default:
 		return fmt.Errorf("unknown kind")
@@ -287,8 +340,20 @@ func (s *Scenario) Validate() error {
 	if _, err := s.ServiceProfile(); err != nil {
 		return err
 	}
+	if badNum(s.Days, s.StartHours, s.PeakRPS) {
+		return fmt.Errorf("scenario %q: numeric fields must be finite", s.Name)
+	}
 	if s.Days <= 0 {
 		return fmt.Errorf("scenario %q: non-positive days %v", s.Name, s.Days)
+	}
+	if s.Days > 3650 {
+		return fmt.Errorf("scenario %q: %v days exceeds the 10-year cap", s.Name, s.Days)
+	}
+	if s.StartHours < 0 || s.StartHours > 24*3650 {
+		return fmt.Errorf("scenario %q: start_hours %v outside [0, 10 years]", s.Name, s.StartHours)
+	}
+	if s.PeakRPS < 0 || s.PeakRPS > 1e6 {
+		return fmt.Errorf("scenario %q: peak_rps %v outside [0, 1e6]", s.Name, s.PeakRPS)
 	}
 	horizon := s.Days * 24
 	for i, e := range s.Events {
@@ -366,6 +431,12 @@ func (s *Scenario) ApplyTrace(tr trace.Trace, seed uint64) trace.Trace {
 				frac = 0.5
 			}
 			mods = append(mods, trace.ShiftMixWindow(from, to, w, frac, evSeed))
+		case CacheThrash:
+			frac := e.Fraction
+			if frac <= 0 {
+				frac = 0.5
+			}
+			mods = append(mods, trace.GroupPrompts(from, to, frac, e.Groups, evSeed))
 		}
 	}
 	if len(mods) == 0 {

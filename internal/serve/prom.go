@@ -67,6 +67,12 @@ func (s *Session) renderMetrics(w *bytes.Buffer) {
 	c("shed_total", "requests dropped after exhausting their retry budget", float64(st.Shed))
 	c("admission_shed_total", "injections rejected by admission control (HTTP 429)", float64(st.AdmissionShed))
 	c("trace_loops_total", "base-trace replays", float64(st.TraceLoops))
+	g("kv_used_blocks", "KV-cache occupancy summed over live event engines", float64(st.KVUsedBlocks))
+	g("kv_total_blocks", "KV-cache capacity summed over live event engines", float64(st.KVTotalBlocks))
+	c("kv_preemptions_total", "decode sequences preempted under KV pressure", float64(st.KVPreemptions))
+	c("kv_prefix_hits_total", "prompt-prefix cache hits", float64(st.KVPrefixHits))
+	c("kv_rejected_total", "admissions rejected as oversize for an empty KV pool", float64(st.KVRejected))
+	c("kv_handoffs_total", "prefill-to-decode handoffs under disaggregation", float64(st.Handoffs))
 
 	writeSummary(w, "ttft_seconds", "time to first token", "", res.TTFT)
 	writeSummary(w, "tbt_seconds", "time between tokens", "", res.TBT)

@@ -736,6 +736,14 @@ type Stats struct {
 	HorizonReached bool    `json:"horizon_reached"`
 	SimLagSeconds  float64 `json:"sim_lag_virtual_s"`
 	PendingArrival int     `json:"pending_arrivals"`
+	// KV-cache occupancy and dynamics (event fidelity; blocks under
+	// block-granular accounting, tokens under the legacy path).
+	KVUsedBlocks  int `json:"kv_used_blocks"`
+	KVTotalBlocks int `json:"kv_total_blocks"`
+	KVPreemptions int `json:"kv_preemptions"`
+	KVPrefixHits  int `json:"kv_prefix_hits"`
+	KVRejected    int `json:"kv_rejected"`
+	Handoffs      int `json:"kv_handoffs"`
 	// RestoredAtS is the virtual instant a crash-restored session resumed
 	// from (0 for a fresh session); LastCheckpointS is the virtual instant
 	// of the latest durable checkpoint (0 when durability is off).
@@ -787,6 +795,13 @@ func (s *Session) statsLocked() Stats {
 		RestoredAtS:     float64(s.restoredAt),
 		LastCheckpointS: float64(s.lastCkptAt),
 	}
+	kv := s.live.KVStats()
+	st.KVUsedBlocks = kv.UsedBlocks
+	st.KVTotalBlocks = kv.TotalBlocks
+	st.KVPreemptions = kv.Preemptions
+	st.KVPrefixHits = kv.PrefixHits
+	st.KVRejected = kv.Rejected
+	st.Handoffs = kv.Handoffs
 	if boundary > 0 {
 		st.AvgServers = res.GPUSeconds / 8 / boundary
 	}

@@ -81,6 +81,34 @@ func AmplifyWindow(from, to simclock.Time, mult float64, seed uint64) Modifier {
 	}
 }
 
+// GroupPrompts returns a modifier that assigns a PromptGroup to a share
+// of the requests inside [from, to), modelling callers that reuse a
+// shared prompt prefix (system prompts, few-shot templates). Each
+// affected request joins one of groups equally likely; group IDs are
+// offset by the seed so windows from different scenario events never
+// collide. share <= 0 or groups <= 0 returns the input unchanged. A small
+// groups value concentrates reuse (prefix-cache friendly); a large value
+// cycles many distinct prefixes through the cache (cache thrash).
+func GroupPrompts(from, to simclock.Time, share float64, groups int, seed uint64) Modifier {
+	return func(tr Trace) Trace {
+		if share <= 0 || groups <= 0 || from >= to || len(tr) == 0 {
+			return tr
+		}
+		rng := simclock.NewRNG(seed ^ 0x6B5A)
+		// Non-zero group base even for seed 0: group 0 means "no group".
+		base := seed<<16 | 1
+		out := make(Trace, len(tr))
+		copy(out, tr)
+		for i, e := range out {
+			if e.At < from || e.At >= to || rng.Float64() >= share {
+				continue
+			}
+			out[i].PromptGroup = base + uint64(rng.Intn(groups))
+		}
+		return out
+	}
+}
+
 // ShiftMixWindow returns a modifier that re-draws a fraction of the
 // requests inside [from, to) from a target class distribution: each
 // affected request's class is sampled with probability proportional to

@@ -41,6 +41,12 @@ type Entry struct {
 	// completions; generated and CSV-loaded entries leave it zero and it
 	// is not serialized.
 	Tag uint64
+
+	// PromptGroup marks requests sharing a prompt prefix; it propagates
+	// onto workload.Request.PromptGroup for the engine's prefix cache.
+	// Like Tag it is assigned in memory (GroupPrompts modifier, live
+	// injection) and not serialized to CSV.
+	PromptGroup uint64
 }
 
 // Class returns the request class of the entry.

@@ -174,6 +174,12 @@ type Request struct {
 	// which the serving session matches to completion waiters by it.
 	Tag uint64
 
+	// PromptGroup identifies requests sharing a prompt prefix (system
+	// prompt, few-shot template): non-zero values let the engine's
+	// prefix cache skip prefill work for later members of the group
+	// (engine.KVConfig.PrefixCache). Zero means no shared prefix.
+	PromptGroup uint64
+
 	// PredictedClass is the router's classification from the known input
 	// length and the *predicted* output bucket (§IV-D).
 	PredictedClass Class
