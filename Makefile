@@ -23,12 +23,12 @@ COUNT ?= 1
 GATEBENCH ?= TickLoop|EventFleet|LiveSnapshot|LiveAdvanceTick|EngineSoak|EngineKV
 
 # Committed baseline the perf-regression gate compares against.
-BASE ?= 8
+BASE ?= 9
 
 # Budget for the fuzz-smoke target (per fuzz target).
 FUZZTIME ?= 30s
 
-.PHONY: all build test lint docs-check bench bench-json bench-gate profile smoke scenario-smoke event-smoke fidelity-smoke serve-smoke chaos-smoke restore-smoke fuzz-smoke
+.PHONY: all build test lint docs-check bench bench-json bench-gate profile smoke scenario-smoke event-smoke fidelity-smoke serve-smoke chaos-smoke restore-smoke fuzz-smoke kv-smoke
 
 all: build lint docs-check test
 
@@ -118,6 +118,13 @@ chaos-smoke:
 # restore from the WAL + checkpoint, assert no acked request was lost.
 restore-smoke:
 	./scripts/restore_smoke.sh
+
+# End-to-end: the KV sweep — capacity x prefix x disagg x spill tier —
+# through the real CLI, race detector on (thin peak; the quick grid's tier
+# cells exercise the swap link under both cpu and ssd bandwidths). CI
+# uploads the table as an artifact.
+kv-smoke:
+	$(GO) run -race ./cmd/dynamobench -quick -peak 5 kv | tee kv-sweep.txt
 
 # Short coverage-guided fuzz pass over the scenario JSON loader, race
 # detector on. The corpus seeds from the builtin library plus known-nasty

@@ -21,8 +21,9 @@
 // to a JSON scenario definition. "fidelity" cross-validates the fluid
 // model against the event-level engine, "chaos" sweeps the fault grid —
 // crash intensity x straggler fraction x retry budget — "kv" sweeps the
-// KV-cache grid — capacity factor x prefix share x disaggregation, always
-// event fidelity — and none of the three is part of "all".)
+// KV-cache grid — capacity factor x prefix share x disaggregation x
+// spill tier, always event fidelity — and none of the three is part of
+// "all".)
 //
 // -fidelity {fluid,event} selects the instance service model for every
 // cluster simulation: the closed-form fluid model (fast default) or one
@@ -33,6 +34,13 @@
 // -disagg splits every pool of every cluster simulation into a prefill
 // pool and a decode pool with a modeled KV-transfer handoff between them
 // (implies -fidelity event).
+//
+// -kv-tier {none,cpu,ssd} puts a spill tier below every engine's GPU
+// block pool (implies -fidelity event): preemption victims swap out over
+// a modeled link (cpu ~25 GB/s, ssd ~5 GB/s; -tier-bw overrides) instead
+// of recomputing when the modeled transfer is cheaper — or always, with
+// -swap-policy always. The kv sweep carries its own tier axis and
+// ignores these flags for its tier cells.
 //
 // "snapshot straight" and "snapshot forked" run the same live session to
 // the same horizon — the forked variant through a mid-run checkpoint and
@@ -67,6 +75,9 @@ func realMain() int {
 	jobs := flag.Int("jobs", runtime.NumCPU(), "max concurrent simulations per experiment (output is identical for any value)")
 	fidelity := flag.String("fidelity", "fluid", "instance fidelity backend: fluid|event")
 	disagg := flag.Bool("disagg", false, "split pools into prefill/decode with a modeled KV handoff (implies -fidelity event)")
+	kvTier := flag.String("kv-tier", "none", "KV spill tier below each engine's GPU block pool: none|cpu|ssd (implies -fidelity event; the kv sweep carries its own tier axis)")
+	tierBW := flag.Float64("tier-bw", 0, "override the KV spill link bandwidth in bytes/s (0 = tier default: 25e9 cpu, 5e9 ssd)")
+	swapPolicy := flag.String("swap-policy", "auto", "KV swap-vs-recompute policy under a spill tier: auto|always")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the selected experiments to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile taken after the selected experiments to this file")
 	flag.Usage = func() {
@@ -85,6 +96,18 @@ func realMain() int {
 	fid, err := core.ParseFidelity(*fidelity)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "dynamobench: unknown fidelity %q (want one of %v)\n\n", *fidelity, core.FidelityNames)
+		flag.Usage()
+		return 2
+	}
+	tier, err := core.ParseKVTier(*kvTier)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "dynamobench: unknown kv tier %q (want one of %v)\n\n", *kvTier, core.KVTierNames)
+		flag.Usage()
+		return 2
+	}
+	policy, err := core.ParseKVSwapPolicy(*swapPolicy)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "dynamobench: unknown kv swap policy %q (want one of %v)\n\n", *swapPolicy, core.KVSwapPolicyNames)
 		flag.Usage()
 		return 2
 	}
@@ -125,7 +148,10 @@ func realMain() int {
 	cfg.Fidelity = fid
 	cfg.StepJobs = *jobs
 	cfg.Disagg = *disagg
-	if *disagg {
+	cfg.KVTier = tier
+	cfg.KVTierBandwidth = *tierBW
+	cfg.KVSwapPolicy = policy
+	if *disagg || tier != core.KVTierNone {
 		cfg.Fidelity = core.FidelityEvent
 	}
 

@@ -80,12 +80,31 @@ type Config struct {
 	// tagged with a shared PromptGroup skip prefill for the cached
 	// prefix. Only meaningful with KVBlockTokens > 0.
 	KVPrefixCache bool
+	// KVTier adds a spill tier below each engine's GPU KV pool: "none"
+	// (or "", recompute-only), "cpu" (host memory over PCIe ~25 GB/s), or
+	// "ssd" (NVMe ~5 GB/s, far larger pool). Preemption victims may swap
+	// out and back in instead of recomputing. Implies event fidelity and
+	// block-granular KV accounting. See KVTiers.
+	KVTier string
+	// KVTierBandwidth overrides the spill link bandwidth in bytes/s
+	// (0 = the tier's default).
+	KVTierBandwidth float64
+	// KVSwapPolicy picks swap vs recompute per preemption victim: "auto"
+	// (or "", compare modeled transfer vs recompute time) or "always".
+	// See KVSwapPolicies.
+	KVSwapPolicy string
 	// Seed fixes all randomness.
 	Seed uint64
 }
 
 // Fidelities lists the accepted Config.Fidelity values.
 var Fidelities = core.FidelityNames
+
+// KVTiers lists the accepted Config.KVTier values.
+var KVTiers = core.KVTierNames
+
+// KVSwapPolicies lists the accepted Config.KVSwapPolicy values.
+var KVSwapPolicies = core.KVSwapPolicyNames
 
 // Trace re-exports the trace type for the public API.
 type Trace = trace.Trace
@@ -196,6 +215,21 @@ func (cfg Config) coreOptions() (core.Options, error) {
 	opts.KVBlockTokens = cfg.KVBlockTokens
 	opts.KVCapacityFactor = cfg.KVCapacityFactor
 	opts.KVPrefixCache = cfg.KVPrefixCache
+	if cfg.KVTier != "" {
+		tier, err := core.ParseKVTier(cfg.KVTier)
+		if err != nil {
+			return core.Options{}, fmt.Errorf("dynamollm: unknown kv tier %q (want one of %v)", cfg.KVTier, KVTiers)
+		}
+		opts.KVTier = tier
+	}
+	opts.KVTierBandwidth = cfg.KVTierBandwidth
+	if cfg.KVSwapPolicy != "" {
+		pol, err := core.ParseKVSwapPolicy(cfg.KVSwapPolicy)
+		if err != nil {
+			return core.Options{}, fmt.Errorf("dynamollm: unknown kv swap policy %q (want one of %v)", cfg.KVSwapPolicy, KVSwapPolicies)
+		}
+		opts.KVSwapPolicy = pol
+	}
 	opts.Seed = cfg.Seed
 	return opts, nil
 }

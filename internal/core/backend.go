@@ -208,6 +208,16 @@ const (
 	kvTransferBytesPerSec  = 50e9
 )
 
+// KV spill-tier parameters (configureKV): the cpu tier is host memory
+// over PCIe Gen5 (~25 GB/s) sized a few times the GPU's unscaled KV
+// capacity; the ssd tier is NVMe (~5 GB/s) with a far larger pool.
+const (
+	kvTierCPUBytesPerSec = 25e9
+	kvTierSSDBytesPerSec = 5e9
+	kvTierCPUFactor      = 4.0
+	kvTierSSDFactor      = 32.0
+)
+
 // kvTransferSeconds models moving ctx tokens of KV cache between a
 // prefill and a decode instance.
 func kvTransferSeconds(m *model.Model, ctx int) float64 {
@@ -238,9 +248,12 @@ type instEngine struct {
 	// the post-horizon drain tail in Finish.
 	cls workload.Class
 
-	// lastPre/lastHits/lastRej/lastHand are the engine KV counter values
-	// already folded into the Result; settleKV books the deltas.
+	// lastPre/lastHits/lastRej/lastHand (and the tier quartet) are the
+	// engine KV counter values already folded into the Result; settleKV
+	// books the deltas.
 	lastPre, lastHits, lastRej, lastHand int
+	lastSwapOut, lastSwapIn, lastRecomp  int
+	lastTierEvict                        int
 
 	// handoffsIn counts KV handoffs received this tick; Advance folds it
 	// into the decode instance's rate EWMA (handed-off work never passes
@@ -349,11 +362,32 @@ func (b *eventBackend) configureKV(ie *instEngine) {
 	if opts.KVBlockTokens <= 0 {
 		return
 	}
-	ie.eng.ConfigureKV(engine.KVConfig{
+	kv := engine.KVConfig{
 		BlockTokens:    opts.KVBlockTokens,
 		CapacityFactor: opts.KVCapacityFactor,
 		PrefixCache:    opts.KVPrefixCache,
-	})
+	}
+	// The spill tier is sized against the UNSCALED derived capacity —
+	// host memory and NVMe do not shrink when KVCapacityFactor squeezes
+	// the GPU pool — which is exactly what lets tiny-capacity cells
+	// recover goodput by swapping instead of recomputing.
+	switch opts.KVTier {
+	case KVTierCPU:
+		kv.TierCapacityFactor = kvTierCPUFactor
+		kv.TierBytesPerSec = kvTierCPUBytesPerSec
+	case KVTierSSD:
+		kv.TierCapacityFactor = kvTierSSDFactor
+		kv.TierBytesPerSec = kvTierSSDBytesPerSec
+	}
+	if opts.KVTier != KVTierNone {
+		if opts.KVTierBandwidth > 0 {
+			kv.TierBytesPerSec = opts.KVTierBandwidth
+		}
+		if opts.KVSwapPolicy == KVSwapAlways {
+			kv.SwapPolicy = engine.SwapAlways
+		}
+	}
+	ie.eng.ConfigureKV(kv)
 }
 
 // wire points an engine's callbacks at its own buffers. Nothing here may
@@ -663,6 +697,11 @@ func (b *eventBackend) settleKV(ie *instEngine) {
 	b.res.KVRejected += e.KVRejected - ie.lastRej
 	b.res.Handoffs += e.Handoffs - ie.lastHand
 	ie.lastPre, ie.lastHits, ie.lastRej, ie.lastHand = e.Preempted, e.PrefixHits, e.KVRejected, e.Handoffs
+	b.res.KVSwapOuts += e.SwapOuts - ie.lastSwapOut
+	b.res.KVSwapIns += e.SwapIns - ie.lastSwapIn
+	b.res.KVRecomputes += e.Recomputes - ie.lastRecomp
+	b.res.KVTierEvictions += e.TierEvictions - ie.lastTierEvict
+	ie.lastSwapOut, ie.lastSwapIn, ie.lastRecomp, ie.lastTierEvict = e.SwapOuts, e.SwapIns, e.Recomputes, e.TierEvictions
 }
 
 func (b *eventBackend) Retire(in *Instance, now simclock.Time, graceful bool) {

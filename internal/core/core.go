@@ -71,6 +71,76 @@ func ParseFidelity(s string) (Fidelity, error) {
 	return 0, fmt.Errorf("core: unknown fidelity %q (want fluid|event)", s)
 }
 
+// KVTier selects the KV spill tier below each engine's GPU block pool.
+type KVTier int
+
+const (
+	// KVTierNone disables spilling: preemption always recomputes (the
+	// PR 8 behaviour, bit-identical event stream).
+	KVTierNone KVTier = iota
+	// KVTierCPU spills to host memory over PCIe: a fast link and a pool a
+	// few times the GPU's unscaled KV capacity.
+	KVTierCPU
+	// KVTierSSD spills to NVMe: a far larger pool behind a slower link,
+	// so the swap-vs-recompute policy earns its keep.
+	KVTierSSD
+)
+
+// KVTierNames lists the accepted tier names in definition order.
+var KVTierNames = []string{"none", "cpu", "ssd"}
+
+// String returns the tier's CLI name.
+func (t KVTier) String() string {
+	if t < 0 || int(t) >= len(KVTierNames) {
+		return fmt.Sprintf("KVTier(%d)", int(t))
+	}
+	return KVTierNames[t]
+}
+
+// ParseKVTier resolves a KV tier name ("none", "cpu", "ssd").
+func ParseKVTier(s string) (KVTier, error) {
+	for i, name := range KVTierNames {
+		if s == name {
+			return KVTier(i), nil
+		}
+	}
+	return 0, fmt.Errorf("core: unknown kv tier %q (want none|cpu|ssd)", s)
+}
+
+// KVSwapPolicy picks swap versus recompute for each preemption victim
+// when a spill tier is configured.
+type KVSwapPolicy int
+
+const (
+	// KVSwapAuto compares modeled transfer time against modeled prefill
+	// recompute time per victim and takes the cheaper path.
+	KVSwapAuto KVSwapPolicy = iota
+	// KVSwapAlways spills every victim the tier can hold.
+	KVSwapAlways
+)
+
+// KVSwapPolicyNames lists the accepted swap policy names in definition
+// order.
+var KVSwapPolicyNames = []string{"auto", "always"}
+
+// String returns the policy's CLI name.
+func (p KVSwapPolicy) String() string {
+	if p < 0 || int(p) >= len(KVSwapPolicyNames) {
+		return fmt.Sprintf("KVSwapPolicy(%d)", int(p))
+	}
+	return KVSwapPolicyNames[p]
+}
+
+// ParseKVSwapPolicy resolves a swap policy name ("auto", "always").
+func ParseKVSwapPolicy(s string) (KVSwapPolicy, error) {
+	for i, name := range KVSwapPolicyNames {
+		if s == name {
+			return KVSwapPolicy(i), nil
+		}
+	}
+	return 0, fmt.Errorf("core: unknown kv swap policy %q (want auto|always)", s)
+}
+
 // Options selects the system variant and its parameters.
 type Options struct {
 	// Model is the served LLM (default Llama2-70B).
@@ -135,6 +205,21 @@ type Options struct {
 	// sharing a non-zero PromptGroup skip prefill work for the cached
 	// prefix. Only meaningful with KVBlockTokens > 0.
 	KVPrefixCache bool
+
+	// KVTier adds a spill tier below each engine's GPU block pool:
+	// preemption victims may swap their KV blocks out over a modeled link
+	// and swap back in on resume instead of recomputing. Like Disagg, a
+	// tier implies FidelityEvent and block-granular KV accounting.
+	KVTier KVTier
+
+	// KVTierBandwidth overrides the tier's modeled link bandwidth in
+	// bytes/s (0 keeps the tier's default: 25 GB/s PCIe for cpu, 5 GB/s
+	// NVMe for ssd).
+	KVTierBandwidth float64
+
+	// KVSwapPolicy picks swap vs recompute per preemption victim
+	// (KVSwapAuto compares modeled costs; KVSwapAlways always spills).
+	KVSwapPolicy KVSwapPolicy
 
 	// RetryBudget is the per-request frontend retry budget (§IV-D): how
 	// many times a squashed request (instance outage, pool with no
@@ -208,9 +293,10 @@ func (o Options) withDefaults() Options {
 	if o.Model == nil {
 		o.Model = model.Llama2_70B
 	}
-	if o.Disagg {
-		// Disaggregation needs per-request KV state: event fidelity and
-		// block accounting are not optional once pools are split.
+	if o.Disagg || o.KVTier != KVTierNone {
+		// Disaggregation and tiered KV both need per-request KV state:
+		// event fidelity and block accounting are not optional once pools
+		// are split or a spill tier is configured.
 		o.Fidelity = FidelityEvent
 		if o.KVBlockTokens <= 0 {
 			o.KVBlockTokens = DefaultKVBlockTokens

@@ -11,8 +11,9 @@ import (
 // kvFingerprint summarizes a Result down to the fields the KV tests
 // compare byte-for-byte (floats via %x so NaN/rounding cannot hide).
 func kvFingerprint(r *Result) string {
-	return fmt.Sprintf("req=%d done=%d squash=%d shed=%d slo=%d e=%x ttft50=%x ttft99=%x tbt99=%x",
+	return fmt.Sprintf("req=%d done=%d squash=%d shed=%d slo=%d swap=%d/%d recomp=%d evict=%d e=%x ttft50=%x ttft99=%x tbt99=%x",
 		r.Requests, r.Completed, r.Squashed, r.Shed, r.SLOMet,
+		r.KVSwapOuts, r.KVSwapIns, r.KVRecomputes, r.KVTierEvictions,
 		r.EnergyJ, r.TTFT.Percentile(50), r.TTFT.Percentile(99), r.TBT.Percentile(99))
 }
 
@@ -75,6 +76,62 @@ func TestKVPressurePreempts(t *testing.T) {
 	if res.SLOAttainment() > full.SLOAttainment() {
 		t.Errorf("KV pressure improved SLO attainment: %.3f squeezed vs %.3f full",
 			res.SLOAttainment(), full.SLOAttainment())
+	}
+}
+
+// TestKVTierSwapsUnderPressure: the spill tier at the same starved
+// capacity must resolve pressure by swapping — swap-outs appear, and the
+// recompute count drops against the recompute-only run because most
+// victims take the tier path instead. The invariant checks inside kvRun
+// cover the tier counter algebra.
+func TestKVTierSwapsUnderPressure(t *testing.T) {
+	if testing.Short() {
+		t.Skip("cluster simulation")
+	}
+	squeeze := func(o *Options) {
+		o.KVBlockTokens = 16
+		o.KVCapacityFactor = 0.002
+	}
+	none := kvRun(t, squeeze, 900)
+	if none.KVSwapOuts != 0 || none.KVSwapIns != 0 || none.KVTierEvictions != 0 {
+		t.Fatalf("tierless run recorded swap traffic: %d out, %d in, %d evicted",
+			none.KVSwapOuts, none.KVSwapIns, none.KVTierEvictions)
+	}
+	tiered := kvRun(t, func(o *Options) {
+		squeeze(o)
+		o.KVTier = KVTierCPU
+	}, 900)
+	if tiered.KVSwapOuts == 0 {
+		t.Fatal("tiered run under a 0.2% capacity factor never swapped")
+	}
+	if tiered.KVRecomputes >= none.KVRecomputes {
+		t.Errorf("tier did not displace recomputes: %d tiered vs %d recompute-only",
+			tiered.KVRecomputes, none.KVRecomputes)
+	}
+	if tiered.Completed == 0 {
+		t.Error("nothing completed under tiered pressure")
+	}
+}
+
+// TestKVTierNoneBitIdentical: KVTierNone is the default and must be a
+// true no-op — explicitly setting it (and a swap policy, which is inert
+// without a tier) leaves the pressured event stream byte-identical.
+func TestKVTierNoneBitIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("cluster simulation")
+	}
+	squeeze := func(o *Options) {
+		o.KVBlockTokens = 16
+		o.KVCapacityFactor = 0.002
+	}
+	base := kvRun(t, squeeze, 900)
+	explicit := kvRun(t, func(o *Options) {
+		squeeze(o)
+		o.KVTier = KVTierNone
+		o.KVSwapPolicy = KVSwapAlways
+	}, 900)
+	if a, b := kvFingerprint(base), kvFingerprint(explicit); a != b {
+		t.Errorf("explicit tier=none diverged from default:\nbase     %s\nexplicit %s", a, b)
 	}
 }
 
@@ -218,5 +275,49 @@ func TestLiveSnapshotRoundTripsKV(t *testing.T) {
 	}
 	if a.KVPreemptions == 0 {
 		t.Error("test exercised no preemptions; shrink KVCapacityFactor")
+	}
+}
+
+// TestLiveSnapshotRoundTripsTier: the fork test again with a spill tier
+// active — the snapshot must carry tier occupancy, the spilled queues, and
+// any in-flight swap transfer, or the fork's swap counters drift. The live
+// stats surface must also report the tier gauges.
+func TestLiveSnapshotRoundTripsTier(t *testing.T) {
+	if testing.Short() {
+		t.Skip("cluster simulation")
+	}
+	repo, _ := fixtures(t)
+	tr := trace.OpenSourceHour(testPeakRPS, 11).Window(0, 600)
+	opts, _ := SystemByName("multipool")
+	opts.Seed = 7
+	opts.Fidelity = FidelityEvent
+	opts.WarmLoad = warmConv
+	opts.KVBlockTokens = 16
+	opts.KVCapacityFactor = 0.002
+	opts.KVTier = KVTierCPU
+
+	l := NewLive(tr, opts, repo)
+	l.AdvanceTo(300)
+	st := l.KVStats()
+	if st.TierTotalBlocks == 0 {
+		t.Error("no tier capacity reported by live engines")
+	}
+	if st.TierUsedBlocks < 0 || st.TierUsedBlocks > st.TierTotalBlocks {
+		t.Errorf("tier occupancy out of range: %d used of %d", st.TierUsedBlocks, st.TierTotalBlocks)
+	}
+	fork := l.Snapshot().Resume()
+	l.AdvanceTo(600)
+	fork.AdvanceTo(600)
+	a, b := l.Finish(), fork.Finish()
+	for name, r := range map[string]*Result{"orig": a, "fork": b} {
+		if err := r.CheckInvariants(); err != nil {
+			t.Fatalf("%s invariants: %v", name, err)
+		}
+	}
+	if fa, fb := kvFingerprint(a), kvFingerprint(b); fa != fb {
+		t.Errorf("tiered fork diverged from original:\norig %s\nfork %s", fa, fb)
+	}
+	if a.KVSwapOuts == 0 {
+		t.Error("test exercised no swaps; shrink KVCapacityFactor")
 	}
 }

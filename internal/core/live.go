@@ -168,6 +168,13 @@ type KVStats struct {
 	PrefixHits  int
 	Rejected    int
 	Handoffs    int
+	// Spill-tier occupancy and dynamics (Options.KVTier != KVTierNone).
+	TierUsedBlocks  int
+	TierTotalBlocks int
+	SwapOuts        int
+	SwapIns         int
+	Recomputes      int
+	TierEvictions   int
 }
 
 // KVStats reports current KV occupancy and the run's KV counters. Like
@@ -176,10 +183,14 @@ type KVStats struct {
 func (l *Live) KVStats() KVStats {
 	res := l.sm.res
 	st := KVStats{
-		Preemptions: res.KVPreemptions,
-		PrefixHits:  res.KVPrefixHits,
-		Rejected:    res.KVRejected,
-		Handoffs:    res.Handoffs,
+		Preemptions:   res.KVPreemptions,
+		PrefixHits:    res.KVPrefixHits,
+		Rejected:      res.KVRejected,
+		Handoffs:      res.Handoffs,
+		SwapOuts:      res.KVSwapOuts,
+		SwapIns:       res.KVSwapIns,
+		Recomputes:    res.KVRecomputes,
+		TierEvictions: res.KVTierEvictions,
 	}
 	if eb, ok := l.sm.s.backend.(*eventBackend); ok {
 		for _, ie := range eb.engines {
@@ -189,6 +200,9 @@ func (l *Live) KVStats() KVStats {
 			u, c := ie.eng.KVUsage()
 			st.UsedBlocks += u
 			st.TotalBlocks += c
+			tu, tc := ie.eng.KVTierUsage()
+			st.TierUsedBlocks += tu
+			st.TierTotalBlocks += tc
 		}
 	}
 	return st

@@ -152,6 +152,17 @@ type Result struct {
 	KVPrefixHits  int
 	KVRejected    int
 	Handoffs      int
+
+	// Tiered-KV dynamics (KVTier != KVTierNone): sequences swapped out to
+	// the spill tier, swapped back in, preemptions resolved by recompute-
+	// on-resume, and spilled sequences evicted from a full tier (forced
+	// recompute). Every preemption resolves as a swap-out or a recompute,
+	// and every tier eviction converts a swap-out into a recompute, so
+	// KVSwapOuts + KVRecomputes == KVPreemptions + KVTierEvictions.
+	KVSwapOuts      int
+	KVSwapIns       int
+	KVRecomputes    int
+	KVTierEvictions int
 }
 
 // SLOAttainment returns the fraction of completed requests meeting SLOs.
@@ -184,6 +195,22 @@ func (r *Result) CheckInvariants() error {
 	if r.KVPreemptions < 0 || r.KVPrefixHits < 0 || r.KVRejected < 0 || r.Handoffs < 0 {
 		return fmt.Errorf("core: negative KV counter: preemptions=%d hits=%d rejected=%d handoffs=%d",
 			r.KVPreemptions, r.KVPrefixHits, r.KVRejected, r.Handoffs)
+	}
+	if r.KVSwapOuts < 0 || r.KVSwapIns < 0 || r.KVRecomputes < 0 || r.KVTierEvictions < 0 {
+		return fmt.Errorf("core: negative KV tier counter: swapouts=%d swapins=%d recomputes=%d evictions=%d",
+			r.KVSwapOuts, r.KVSwapIns, r.KVRecomputes, r.KVTierEvictions)
+	}
+	// Tier conservation: a sequence swaps in at most once per swap-out (a
+	// sequence is never simultaneously resident and spilled, so the link
+	// only ever carries it one way at a time)...
+	if r.KVSwapIns > r.KVSwapOuts {
+		return fmt.Errorf("core: KVSwapIns=%d exceeds KVSwapOuts=%d", r.KVSwapIns, r.KVSwapOuts)
+	}
+	// ...and every preemption resolves as exactly one swap-out or one
+	// recompute, with tier evictions converting swap-outs into recomputes.
+	if r.KVSwapOuts+r.KVRecomputes != r.KVPreemptions+r.KVTierEvictions {
+		return fmt.Errorf("core: KV preemption conservation violated: SwapOuts=%d + Recomputes=%d != Preemptions=%d + TierEvictions=%d",
+			r.KVSwapOuts, r.KVRecomputes, r.KVPreemptions, r.KVTierEvictions)
 	}
 	return nil
 }

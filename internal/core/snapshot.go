@@ -201,6 +201,11 @@ func (b *eventBackend) cloneFor(nc *Cluster, nr *Result, instMap map[*Instance]*
 			lastRej:    ie.lastRej,
 			lastHand:   ie.lastHand,
 			handoffsIn: ie.handoffsIn,
+
+			lastSwapOut:   ie.lastSwapOut,
+			lastSwapIn:    ie.lastSwapIn,
+			lastRecomp:    ie.lastRecomp,
+			lastTierEvict: ie.lastTierEvict,
 		}
 		nb.wire(nie)
 		nb.engines[id] = nie

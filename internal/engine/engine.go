@@ -49,6 +49,10 @@ type seqState struct {
 	// kvBlocks is the number of KV blocks the sequence holds under
 	// block-granular accounting (kv.go); always 0 on the legacy path.
 	kvBlocks int
+	// tierBlocks is the number of spill-tier blocks the sequence holds
+	// while swapped out (tier.go); a sequence is never resident and
+	// spilled at once, so kvBlocks and tierBlocks are never both non-zero.
+	tierBlocks int
 	// prefixTokens is the prompt prefix covered by a shared prefix-cache
 	// entry rather than the sequence's own blocks.
 	prefixTokens int
@@ -105,6 +109,31 @@ type Engine struct {
 	prefixMap  map[uint64]*prefixEntry
 	prefixList []*prefixEntry
 	freePrefix []*prefixEntry
+	// Tiered KV spill state (tier.go). kvTierCap == 0 disables the tier
+	// and keeps the recompute-only path above bit-for-bit.
+	kvTierCap  int
+	kvTierUsed int
+	tierBW     float64
+	// linkFreeAt is when the swap link next idles; transfers serialize
+	// behind it (the bandwidth queue).
+	linkFreeAt simclock.Time
+	// spilled holds swapped-out sequences in spill order (head-indexed
+	// FIFO): the head is both the next to swap back in and the LRU
+	// eviction victim when the tier itself fills.
+	spilled   []*seqState
+	spillHead int
+	// swapQ holds in-flight swap-in transfers in link order; completions
+	// pop the head (the link serializes, so FIFO order is end order).
+	// swapReady stages completed swap-ins until the next iteration start.
+	swapQ        []*swapIn
+	swapHead     int
+	swapReady    []*seqState
+	freeSwap     []*swapIn
+	swapInflight int
+	// onSwapDone is the swap-in completion callback, bound once so
+	// scheduling a transfer does not allocate a closure.
+	onSwapDone func()
+
 	// prefillOnly marks the prefill side of a disaggregated pair:
 	// sequences hand off (onHandoff) right after their first token.
 	prefillOnly bool
@@ -140,6 +169,13 @@ type Engine struct {
 	PrefixHits int // admissions that reused a cached prompt prefix
 	KVRejected int // requests whose KV footprint can never fit
 	Handoffs   int // prefill→decode migrations (disaggregated mode)
+	// Tier counters (tier.go). Every preemption resolves as a swap-out or
+	// a recompute, and every tier eviction converts a swap-out into a
+	// recompute, so SwapOuts + Recomputes == Preempted + TierEvictions.
+	SwapOuts      int // sequences spilled to the tier
+	SwapIns       int // spilled sequences swapped back in
+	Recomputes    int // preemptions resolved by recompute-on-resume
+	TierEvictions int // spilled sequences evicted from a full tier
 
 	// onComplete, if set, is called as requests finish.
 	onComplete func(*workload.Request)
@@ -163,6 +199,7 @@ func New(cfg perfmodel.Config, clock *simclock.Clock) *Engine {
 	}
 	e.onIterStart = e.iterate
 	e.onIterEnd = e.finishIteration
+	e.onSwapDone = e.swapDone
 	e.meter.SetPower(clock.Now(), gpu.H100.IdlePower*float64(cfg.GPUs()))
 	return e
 }
@@ -288,10 +325,46 @@ func (e *Engine) Drain(fn func(workload.Request)) int {
 		n++
 	}
 	e.active = e.active[:0]
+	for i := e.spillHead; i < len(e.spilled); i++ {
+		st := e.spilled[i]
+		if fn != nil {
+			fn(*st.req)
+		}
+		e.spilled[i] = nil
+		e.putState(st)
+		n++
+	}
+	e.spilled = e.spilled[:0]
+	e.spillHead = 0
+	for i, st := range e.swapReady {
+		if fn != nil {
+			fn(*st.req)
+		}
+		e.swapReady[i] = nil
+		e.putState(st)
+		n++
+	}
+	e.swapReady = e.swapReady[:0]
+	// In-flight swap-ins: the transfer event is still scheduled; the
+	// record stays queued with a nil sequence so swapDone pops and
+	// discards it without delivering anything.
+	for i := e.swapHead; i < len(e.swapQ); i++ {
+		t := e.swapQ[i]
+		if t.st != nil {
+			if fn != nil {
+				fn(*t.st.req)
+			}
+			e.putState(t.st)
+			t.st = nil
+			e.swapInflight--
+			n++
+		}
+	}
 	e.kvTokens = 0
 	if e.kvBlocksCap > 0 {
 		e.clearPrefix()
 		e.kvBlocksUsed = 0
+		e.kvTierUsed = 0
 	}
 	return n
 }
@@ -302,12 +375,18 @@ func (e *Engine) Energy() float64 {
 }
 
 // QueueLen reports requests not yet finished.
-func (e *Engine) QueueLen() int { return len(e.waiting) - e.waitHead + e.preLen() + len(e.active) }
+func (e *Engine) QueueLen() int {
+	return len(e.waiting) - e.waitHead + e.preLen() + len(e.active) +
+		e.spillLen() + len(e.swapReady) + e.swapInflight
+}
 
-// WaitingLen reports requests whose (re-)prefill has not started — the
-// admission backlog the cluster's instance manager watches, including
-// preempted sequences awaiting re-admission.
-func (e *Engine) WaitingLen() int { return len(e.waiting) - e.waitHead + e.preLen() }
+// WaitingLen reports requests whose (re-)prefill or swap-in has not
+// started — the admission backlog the cluster's instance manager watches,
+// including preempted and spilled sequences awaiting re-admission (but not
+// transfers already on the link, whose completion event carries them).
+func (e *Engine) WaitingLen() int {
+	return len(e.waiting) - e.waitHead + e.preLen() + e.spillLen() + len(e.swapReady)
+}
 
 // kick schedules the next iteration if the engine is idle and has work.
 func (e *Engine) kick() {
@@ -334,20 +413,34 @@ func (e *Engine) iterate() {
 	budget := perfmodel.PrefillChunk
 	prefillTokens := 0
 	if e.kvBlocksCap > 0 {
-		// Block-granular path: preempted sequences resume first, then
-		// the waiting queue; every chunk is gated on free blocks and
+		// Block-granular path: swap-ins that completed since the last
+		// iteration rejoin the batch, spilled sequences outrank every
+		// queue for the link and blocks, then preempted sequences resume,
+		// then the waiting queue; every chunk is gated on free blocks and
 		// each active sequence is guaranteed a block for this
 		// iteration's token (preempting the youngest under pressure).
-		prefillTokens = e.admitBlocks(&budget)
+		e.flushSwapReady()
+		swapBlocked := e.admitSwapIns()
+		if !swapBlocked {
+			prefillTokens = e.admitBlocks(&budget)
+		}
 		e.reserveDecode()
 		// reserveDecode can evict or reject the very sequences admission
 		// just placed, emptying the batch while their freed blocks would
 		// let queued work in. Going idle here would strand that work
 		// forever (no external event frees blocks once nothing runs), so
 		// re-admit until the batch is live or admission stops moving.
-		// Terminates: every productive round consumes chunk budget.
+		// Terminates: every productive round consumes chunk budget or
+		// moves a spilled sequence onto the link (whose completion event
+		// wakes the engine on its own). Spilled sequences initiating
+		// transfers leave WaitingLen, so a round that only starts
+		// swap-ins exits the loop and idles until the link delivers.
 		for len(e.active) == 0 && e.WaitingLen() > 0 {
-			more := e.admitBlocks(&budget)
+			swapBlocked = e.admitSwapIns()
+			more := 0
+			if !swapBlocked {
+				more = e.admitBlocks(&budget)
+			}
 			e.reserveDecode()
 			prefillTokens += more
 			if more == 0 && len(e.active) == 0 {

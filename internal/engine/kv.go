@@ -36,6 +36,19 @@ type KVConfig struct {
 	CapacityFactor float64
 	// PrefixCache enables prompt-prefix sharing across a PromptGroup.
 	PrefixCache bool
+
+	// TierBlocks sizes the CPU/SSD spill tier below the pool (tier.go);
+	// 0 with TierCapacityFactor == 0 disables the tier (recompute-only).
+	TierBlocks int
+	// TierCapacityFactor sizes the tier relative to the UNSCALED derived
+	// GPU capacity (ignored when TierBlocks is set): host memory and NVMe
+	// do not shrink when CapacityFactor squeezes the GPU pool.
+	TierCapacityFactor float64
+	// TierBytesPerSec is the swap-link bandwidth; <= 0 with a tier
+	// configured takes DefaultTierBytesPerSec.
+	TierBytesPerSec float64
+	// SwapPolicy picks swap vs recompute per preemption victim.
+	SwapPolicy SwapPolicy
 }
 
 // prefixEntry is one cached prompt prefix, shared by every sequence of a
@@ -46,6 +59,11 @@ type prefixEntry struct {
 	tokens int
 	blocks int
 	refs   int
+	// spilled marks an entry whose blocks moved to the spill tier under
+	// GPU pressure (evict-to-tier before drop); a hit swaps it back in.
+	// Only unreferenced entries spill, so spilled implies refs == 0
+	// until the entry is resident again.
+	spilled bool
 }
 
 // ConfigureKV switches the engine to block-granular KV accounting (or back
@@ -55,6 +73,7 @@ func (e *Engine) ConfigureKV(kv KVConfig) {
 	if kv.BlockTokens <= 0 {
 		e.kv = KVConfig{}
 		e.kvBlocksCap = 0
+		e.kvTierCap = 0
 		return
 	}
 	e.kv = kv
@@ -80,6 +99,18 @@ func (e *Engine) deriveKVBlocks() {
 		blocks = 1
 	}
 	e.kvBlocksCap = blocks
+	tier := e.kv.TierBlocks
+	if tier <= 0 && e.kv.TierCapacityFactor > 0 {
+		tier = int(e.Cfg.Model.KVCapacityTokens(e.Cfg.TP) * e.kv.TierCapacityFactor / float64(e.kv.BlockTokens))
+		if tier < 1 {
+			tier = 1
+		}
+	}
+	e.kvTierCap = tier
+	e.tierBW = e.kv.TierBytesPerSec
+	if e.kvTierCap > 0 && e.tierBW <= 0 {
+		e.tierBW = DefaultTierBytesPerSec
+	}
 }
 
 // SetPrefillOnly marks the engine as the prefill side of a disaggregated
@@ -150,18 +181,27 @@ func (e *Engine) takeBlocks(n int) bool {
 }
 
 // reclaimBlocks evicts unreferenced prefix entries, oldest first, until n
-// blocks are free. It reports whether it got there.
+// blocks are free. With a spill tier that has room, an evicted entry moves
+// to the tier instead of dropping (evict-to-tier before drop) and a later
+// hit swaps it back. It reports whether it got there.
 func (e *Engine) reclaimBlocks(n int) bool {
 	if len(e.prefixList) == 0 {
 		return false
 	}
 	kept := e.prefixList[:0]
 	for _, pe := range e.prefixList {
-		if pe.refs > 0 || e.kvBlocksCap-e.kvBlocksUsed >= n {
+		if pe.refs > 0 || pe.spilled || e.kvBlocksCap-e.kvBlocksUsed >= n {
 			kept = append(kept, pe)
 			continue
 		}
 		e.kvBlocksUsed -= pe.blocks
+		if e.kvTierCap > 0 && e.kvTierUsed+pe.blocks <= e.kvTierCap {
+			pe.spilled = true
+			e.kvTierUsed += pe.blocks
+			e.linkOccupy(e.swapSeconds(pe.tokens))
+			kept = append(kept, pe)
+			continue
+		}
 		delete(e.prefixMap, pe.group)
 		e.putPrefix(pe)
 	}
@@ -219,20 +259,38 @@ func (e *Engine) rejectSeq(st *seqState) {
 	e.putState(st)
 }
 
-// preemptSeq evicts an active decode sequence under KV pressure: its
-// blocks are freed and it re-enters admission with prefillLeft set to its
-// full recomputed context (prompt + produced tokens). TTFT was already
-// recorded; the TBT gap spanning the preemption is charged honestly.
+// preemptSeq evicts an active decode sequence under KV pressure. With a
+// spill tier configured the victim may swap its blocks out instead of
+// dropping them (tier.go decides swap vs recompute); otherwise — and
+// whenever the spill is refused — its blocks are freed and it re-enters
+// admission with prefillLeft set to its full recomputed context (prompt +
+// produced tokens). TTFT was already recorded; the TBT gap spanning the
+// preemption is charged honestly.
+func (e *Engine) preemptSeq(st *seqState) {
+	e.Preempted++
+	if e.trySpill(st) {
+		return
+	}
+	e.recomputeSeq(st)
+}
+
+// recomputeSeq resolves a preemption the PR 8 way: blocks dropped,
+// recompute-on-resume via the preempted queue.
+func (e *Engine) recomputeSeq(st *seqState) {
+	e.releaseSeq(st)
+	e.requeueRecompute(st)
+}
+
+// requeueRecompute queues a blockless sequence for recompute-on-resume.
 // The resume never re-takes a prefix-cache hit: a sequence preempted
 // while sharing an entry it alone kept alive would otherwise re-hit the
 // same entry, run out of room at the same block boundary, and cycle
 // forever; owning its whole context makes the oversize check terminal.
-func (e *Engine) preemptSeq(st *seqState) {
-	e.releaseSeq(st)
+func (e *Engine) requeueRecompute(st *seqState) {
 	st.prefillLeft = st.req.InputTokens + st.produced
 	st.ctx = 0
 	st.noPrefix = true
-	e.Preempted++
+	e.Recomputes++
 	e.preempted = append(e.preempted, st)
 }
 
@@ -331,7 +389,11 @@ func (e *Engine) admitQueue(q *[]*seqState, head *int, budget *int, steal func()
 		// Lazily apply a prefix-cache hit before the first chunk: skip
 		// the covered prompt tokens, sharing the entry's blocks.
 		if e.kv.PrefixCache && st.ctx == 0 && st.req.PromptGroup != 0 && !st.noPrefix {
-			if pe := e.prefixMap[st.req.PromptGroup]; pe != nil {
+			pe := e.prefixMap[st.req.PromptGroup]
+			if pe != nil && pe.spilled && !e.unspillPrefix(pe) {
+				pe = nil // tiered entry can't come back yet: miss
+			}
+			if pe != nil {
 				skip := pe.tokens
 				if skip > st.prefillLeft {
 					skip = st.prefillLeft
@@ -430,7 +492,8 @@ func (e *Engine) reserveDecode() {
 	}
 }
 
-// clearPrefix drops the whole prefix cache (drain path).
+// clearPrefix drops the whole prefix cache, resident and spilled entries
+// alike (drain path; the caller resets the pool counters).
 func (e *Engine) clearPrefix() {
 	for i, pe := range e.prefixList {
 		delete(e.prefixMap, pe.group)

@@ -75,6 +75,36 @@ func BenchmarkEngineKV(b *testing.B) {
 	b.ReportMetric(float64(eng.PrefixHits), "prefix-hits")
 }
 
+// kvSoakTiered is kvSoakPressured with a CPU-class spill tier under it:
+// the same pool pressure, but victims swap over the modeled link instead
+// of recomputing, so the soak exercises the swap-out/swap-in hot path
+// continuously. Swap-always removes the policy's dependence on modeled
+// times, keeping the benchmark shape stable across perf-model changes.
+var kvSoakTiered = KVConfig{
+	BlockTokens: 16, Blocks: 72, PrefixCache: true,
+	TierBlocks: 512, TierBytesPerSec: DefaultTierBytesPerSec,
+	SwapPolicy: SwapAlways,
+}
+
+// BenchmarkEngineKVTiered times the spill-tier hot path: the pressured KV
+// soak with every preemption resolved through the swap link. Transfer
+// records are pooled and the completion callback is bound once, so
+// allocs/op stays on the clock-event floor just like the recompute path
+// (TestEngineKVTieredSteadyStateAllocs pins this).
+func BenchmarkEngineKVTiered(b *testing.B) {
+	b.ReportAllocs()
+	var eng *Engine
+	for i := 0; i < b.N; i++ {
+		eng, _ = kvSoak(kvSoakTiered, kvSoakLambda, kvSoakDur, kvSoakIn, kvSoakOut)
+		if eng.Completed == 0 {
+			b.Fatal("tiered KV soak completed nothing")
+		}
+	}
+	b.ReportMetric(float64(eng.Completed), "completed-reqs")
+	b.ReportMetric(float64(eng.SwapOuts), "swap-outs")
+	b.ReportMetric(float64(eng.SwapIns), "swap-ins")
+}
+
 // mallocsDuring counts heap allocations performed by f, with the world
 // quiesced by a GC first. Single-goroutine engine runs make the count
 // deterministic up to runtime background noise.
@@ -125,5 +155,38 @@ func TestEngineKVSteadyStateAllocs(t *testing.T) {
 	if perKV > perLegacy*1.15 {
 		t.Errorf("KV path allocates %.2f per clock event vs legacy %.2f (limit 1.15x): steady-state KV bookkeeping must not allocate",
 			perKV, perLegacy)
+	}
+}
+
+// TestEngineKVTieredSteadyStateAllocs extends the contract to the spill
+// tier: sustained swap traffic — a pooled transfer record and one clock
+// event per swap-in — must hold the same per-event alloc floor as the
+// legacy path. An allocation per transfer (an unpooled record, a fresh
+// completion closure) would separate the ratios immediately.
+func TestEngineKVTieredSteadyStateAllocs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("alloc-ratio soak")
+	}
+	var legacy, tiered *Engine
+	var legacySteps, tieredSteps uint64
+	legacyAllocs := mallocsDuring(func() {
+		legacy, legacySteps = kvSoak(KVConfig{}, kvSoakLambda, kvSoakDur, kvSoakIn, kvSoakOut)
+	})
+	tieredAllocs := mallocsDuring(func() {
+		tiered, tieredSteps = kvSoak(kvSoakTiered, kvSoakLambda, kvSoakDur, kvSoakIn, kvSoakOut)
+	})
+	if legacy.Completed == 0 || tiered.Completed == 0 {
+		t.Fatalf("soak completed nothing: legacy %d, tiered %d", legacy.Completed, tiered.Completed)
+	}
+	if tiered.SwapOuts == 0 || tiered.SwapIns == 0 {
+		t.Fatalf("tiered soak exercised no swap traffic: %d out, %d in", tiered.SwapOuts, tiered.SwapIns)
+	}
+	perLegacy := float64(legacyAllocs) / float64(legacySteps)
+	perTiered := float64(tieredAllocs) / float64(tieredSteps)
+	t.Logf("allocs per clock event: legacy %.2f (%d events), tiered %.2f (%d events, %d swap-outs, %d swap-ins, %d evictions)",
+		perLegacy, legacySteps, perTiered, tieredSteps, tiered.SwapOuts, tiered.SwapIns, tiered.TierEvictions)
+	if perTiered > perLegacy*1.15 {
+		t.Errorf("tiered path allocates %.2f per clock event vs legacy %.2f (limit 1.15x): swap records must pool",
+			perTiered, perLegacy)
 	}
 }

@@ -16,10 +16,12 @@ import (
 // layers build on — a violation here surfaces as a deadlocked drain or a
 // silent capacity drift three packages away.
 
-// heldBlocks sums the blocks attributable to some holder: sequences in
-// every queue plus prefix-cache entries. Conservation demands this equals
-// the pool's used counter exactly — an untracked block is a leak, a
-// double-counted one is phantom capacity.
+// heldBlocks sums the GPU blocks attributable to some holder: sequences
+// in every queue (including those staged behind an in-flight or completed
+// swap-in, which hold their GPU blocks from transfer start) plus resident
+// prefix-cache entries. Conservation demands this equals the pool's used
+// counter exactly — an untracked block is a leak, a double-counted one is
+// phantom capacity.
 func heldBlocks(e *Engine) int {
 	held := 0
 	for _, st := range e.active {
@@ -31,8 +33,33 @@ func heldBlocks(e *Engine) int {
 	for i := e.preHead; i < len(e.preempted); i++ {
 		held += e.preempted[i].kvBlocks
 	}
+	for _, st := range e.swapReady {
+		held += st.kvBlocks
+	}
+	for i := e.swapHead; i < len(e.swapQ); i++ {
+		if st := e.swapQ[i].st; st != nil {
+			held += st.kvBlocks
+		}
+	}
 	for _, pe := range e.prefixList {
-		held += pe.blocks
+		if !pe.spilled {
+			held += pe.blocks
+		}
+	}
+	return held
+}
+
+// tierHeldBlocks is the spill-tier mirror of heldBlocks: blocks held by
+// spilled sequences awaiting swap-in plus spilled prefix entries.
+func tierHeldBlocks(e *Engine) int {
+	held := 0
+	for i := e.spillHead; i < len(e.spilled); i++ {
+		held += e.spilled[i].tierBlocks
+	}
+	for _, pe := range e.prefixList {
+		if pe.spilled {
+			held += pe.blocks
+		}
 	}
 	return held
 }
@@ -45,6 +72,45 @@ func checkKVConservation(t *testing.T, e *Engine) {
 	if held := heldBlocks(e); held != e.kvBlocksUsed {
 		t.Fatalf("t=%v: conservation broken: holders sum to %d, pool says %d used",
 			e.clock.Now(), held, e.kvBlocksUsed)
+	}
+	if e.kvTierUsed < 0 || e.kvTierUsed > e.kvTierCap {
+		t.Fatalf("t=%v: tier blocks %d outside tier [0, %d]", e.clock.Now(), e.kvTierUsed, e.kvTierCap)
+	}
+	if held := tierHeldBlocks(e); held != e.kvTierUsed {
+		t.Fatalf("t=%v: tier conservation broken: holders sum to %d, tier says %d used",
+			e.clock.Now(), held, e.kvTierUsed)
+	}
+	// A sequence is resident or spilled, never both: the GPU side is freed
+	// in the same instant the tier side takes over (and vice versa).
+	checkSeq := func(st *seqState) {
+		if st.kvBlocks > 0 && st.tierBlocks > 0 {
+			t.Fatalf("t=%v: sequence holds %d GPU blocks and %d tier blocks at once",
+				e.clock.Now(), st.kvBlocks, st.tierBlocks)
+		}
+	}
+	for _, st := range e.active {
+		checkSeq(st)
+	}
+	for i := e.spillHead; i < len(e.spilled); i++ {
+		checkSeq(e.spilled[i])
+	}
+	for _, st := range e.swapReady {
+		checkSeq(st)
+	}
+	checkTierCounters(t, e)
+}
+
+// checkTierCounters asserts the swap-counter algebra that holds at every
+// instant: swap-ins never outrun swap-outs, and every preemption or tier
+// eviction resolved as exactly one swap-out or one recompute.
+func checkTierCounters(t *testing.T, e *Engine) {
+	t.Helper()
+	if e.SwapIns > e.SwapOuts {
+		t.Fatalf("t=%v: %d swap-ins exceed %d swap-outs", e.clock.Now(), e.SwapIns, e.SwapOuts)
+	}
+	if e.SwapOuts+e.Recomputes != e.Preempted+e.TierEvictions {
+		t.Fatalf("t=%v: counter conservation broken: swapouts %d + recomputes %d != preempted %d + evictions %d",
+			e.clock.Now(), e.SwapOuts, e.Recomputes, e.Preempted, e.TierEvictions)
 	}
 }
 
@@ -199,6 +265,8 @@ type kvFP struct {
 	engineFingerprint
 	Preempted, PrefixHits, KVRejected, Handoffs int
 	UsedBlocks                                  int
+	SwapOuts, SwapIns, Recomputes, TierEvicts   int
+	TierUsed                                    int
 }
 
 func kvFingerprint(e *Engine) kvFP {
@@ -209,6 +277,11 @@ func kvFingerprint(e *Engine) kvFP {
 		KVRejected:        e.KVRejected,
 		Handoffs:          e.Handoffs,
 		UsedBlocks:        e.kvBlocksUsed,
+		SwapOuts:          e.SwapOuts,
+		SwapIns:           e.SwapIns,
+		Recomputes:        e.Recomputes,
+		TierEvicts:        e.TierEvictions,
+		TierUsed:          e.kvTierUsed,
 	}
 }
 
@@ -300,6 +373,211 @@ func TestKVSnapshotCarriesPreemptedState(t *testing.T) {
 	if got, want := kvFingerprint(eng2), kvFingerprint(eng); got != want {
 		t.Errorf("restore-with-preempted diverged:\n restored %+v\n source   %+v", got, want)
 	}
+}
+
+// --- Spill-tier properties ---------------------------------------------------
+
+// kvTierCfg is the pressured tier configuration the tier properties run
+// under: a pool small enough to preempt constantly, swap-always so every
+// victim crosses the tier boundary the tier can hold.
+func kvTierCfg(tierBlocks int) KVConfig {
+	return KVConfig{
+		BlockTokens: 16, Blocks: 64, PrefixCache: true,
+		TierBlocks: tierBlocks, TierBytesPerSec: DefaultTierBytesPerSec,
+		SwapPolicy: SwapAlways,
+	}
+}
+
+// kvTierSlowCfg throttles the link three orders of magnitude below the
+// PCIe default, stretching each transfer from milliseconds to seconds, so
+// tests that must catch (or drain) a transfer mid-flight can find one at
+// coarse probe granularity.
+func kvTierSlowCfg(tierBlocks int) KVConfig {
+	cfg := kvTierCfg(tierBlocks)
+	cfg.TierBytesPerSec = DefaultTierBytesPerSec / 1000
+	return cfg
+}
+
+// TestKVTierPropConservation: with a spill tier configured, GPU and tier
+// conservation (and the per-instant counter algebra) hold at every event
+// boundary, the run drains at every tier capacity — including one so small
+// that almost every spill forces an eviction — and the drain releases both
+// pools completely.
+func TestKVTierPropConservation(t *testing.T) {
+	for _, tierBlocks := range []int{1, 4, 16, 256} {
+		clk := simclock.New()
+		eng := New(cfg70(model.TP4, 1600), clk)
+		eng.ConfigureKV(kvTierCfg(tierBlocks))
+		reqs := kvPropReqs(80, 17)
+		scheduleFrom(clk, eng, reqs, -1)
+		cancel := clk.Every(0.01, func() { checkKVConservation(t, eng) })
+		clk.RunUntil(120)
+		cancel()
+		clk.Run() // termination at this capacity is itself the property
+
+		checkKVConservation(t, eng)
+		if eng.Completed+eng.KVRejected != len(reqs) {
+			t.Fatalf("tier %d: requests lost: %d completed + %d rejected of %d",
+				tierBlocks, eng.Completed, eng.KVRejected, len(reqs))
+		}
+		if tierBlocks >= 16 && eng.SwapOuts == 0 {
+			t.Errorf("tier %d: swap-always run never swapped; tier not exercised", tierBlocks)
+		}
+		// Every swap-out resolved: swapped back in, or evicted to recompute.
+		// A force-recomputed sequence must never also swap in.
+		if eng.SwapIns != eng.SwapOuts-eng.TierEvictions {
+			t.Errorf("tier %d: at drain %d swap-ins != %d swap-outs - %d evictions",
+				tierBlocks, eng.SwapIns, eng.SwapOuts, eng.TierEvictions)
+		}
+		eng.Drain(nil)
+		if eng.kvBlocksUsed != 0 || eng.kvTierUsed != 0 {
+			t.Errorf("tier %d: %d GPU + %d tier blocks leaked past drain",
+				tierBlocks, eng.kvBlocksUsed, eng.kvTierUsed)
+		}
+	}
+}
+
+// TestKVTierPropThrash oscillates pressure across the tier boundary — the
+// cache-thrash shape at engine scale: bursts that overflow the GPU pool
+// and force spills, separated by lulls long enough to swap everything
+// back. Conservation holds through every crossing, and both directions of
+// the link are actually exercised.
+func TestKVTierPropThrash(t *testing.T) {
+	clk := simclock.New()
+	eng := New(cfg70(model.TP4, 1600), clk)
+	eng.ConfigureKV(kvTierCfg(256))
+	rng := simclock.NewRNG(71)
+	var reqs []workload.Request
+	for cycle := 0; cycle < 4; cycle++ {
+		base := simclock.Time(cycle) * 12
+		// Burst: 25 arrivals packed into two seconds overflow the pool.
+		for i := 0; i < 25; i++ {
+			reqs = append(reqs, workload.Request{
+				Arrival:      base + simclock.Time(rng.Float64()*2),
+				InputTokens:  64 + rng.Intn(400),
+				OutputTokens: 20 + rng.Intn(80),
+			})
+		}
+		// Lull: a trickle keeps the engine iterating while the backlog
+		// (and the spilled queue) drains.
+		for i := 0; i < 3; i++ {
+			reqs = append(reqs, workload.Request{
+				Arrival:     base + 4 + simclock.Time(rng.Float64()*6),
+				InputTokens: 32, OutputTokens: 8,
+			})
+		}
+	}
+	scheduleFrom(clk, eng, reqs, -1)
+	cancel := clk.Every(0.01, func() { checkKVConservation(t, eng) })
+	clk.RunUntil(120)
+	cancel()
+	clk.Run()
+
+	checkKVConservation(t, eng)
+	if eng.Completed+eng.KVRejected != len(reqs) {
+		t.Fatalf("requests lost: %d completed + %d rejected of %d",
+			eng.Completed, eng.KVRejected, len(reqs))
+	}
+	if eng.SwapOuts == 0 || eng.SwapIns == 0 {
+		t.Errorf("thrash exercised neither direction: %d out, %d in", eng.SwapOuts, eng.SwapIns)
+	}
+	if eng.kvTierUsed != 0 {
+		t.Errorf("%d tier blocks held after the backlog drained", eng.kvTierUsed)
+	}
+}
+
+// TestKVTierSnapshotRoundTrip: snapshots of a tiered engine — including
+// cuts taken with a swap-in transfer in flight on the link — restore to
+// runs bit-identical to the uninterrupted one, swap counters, tier
+// occupancy, and the re-armed transfer completion included.
+func TestKVTierSnapshotRoundTrip(t *testing.T) {
+	cfg := cfg70(model.TP4, 1600)
+	kv := kvTierSlowCfg(256)
+	reqs := kvPropReqs(70, 41)
+
+	refClk := simclock.New()
+	ref := New(cfg, refClk)
+	ref.ConfigureKV(kv)
+	scheduleFrom(refClk, ref, reqs, -1)
+	refClk.Run()
+	want := kvFingerprint(ref)
+	if ref.SwapOuts == 0 || ref.SwapIns == 0 {
+		t.Fatalf("reference run never swapped (%d out, %d in); tier not exercised",
+			ref.SwapOuts, ref.SwapIns)
+	}
+
+	// Find a cut instant with a transfer mid-flight, so at least one cut
+	// exercises the re-armed swap event.
+	probeClk := simclock.New()
+	probe := New(cfg, probeClk)
+	probe.ConfigureKV(kv)
+	scheduleFrom(probeClk, probe, reqs, -1)
+	var midSwap simclock.Time
+	for at := simclock.Time(0.05); at < 60 && midSwap == 0; at += 0.05 {
+		probeClk.RunUntil(at)
+		if probe.swapInflight > 0 {
+			midSwap = at
+		}
+	}
+	if midSwap == 0 {
+		t.Fatal("never caught a swap-in transfer in flight")
+	}
+
+	for _, cut := range []simclock.Time{0.4, midSwap, 6.5} {
+		clk := simclock.New()
+		eng := New(cfg, clk)
+		eng.ConfigureKV(kv)
+		scheduleFrom(clk, eng, reqs, -1)
+		clk.RunUntil(cut)
+		if cut == midSwap && eng.swapInflight == 0 {
+			t.Fatalf("cut %v: expected an in-flight transfer at the cut", cut)
+		}
+		snap := eng.Snapshot()
+
+		clk2 := simclock.New()
+		clk2.RunUntil(cut)
+		eng2 := FromSnapshot(snap, clk2)
+		scheduleFrom(clk2, eng2, reqs, cut)
+		clk2.Run()
+		if got := kvFingerprint(eng2); got != want {
+			t.Errorf("cut %v: restored != uninterrupted:\n restored %+v\n want     %+v", cut, got, want)
+		}
+
+		clk.Run()
+		if got := kvFingerprint(eng); got != want {
+			t.Errorf("cut %v: snapshotting perturbed the source:\n got  %+v\n want %+v", cut, got, want)
+		}
+	}
+}
+
+// TestKVTierDrainMidSwap: Drain called while sequences sit spilled in the
+// tier and a transfer is mid-flight must release both pools completely,
+// and the orphaned link event must fire harmlessly afterwards.
+func TestKVTierDrainMidSwap(t *testing.T) {
+	clk := simclock.New()
+	eng := New(cfg70(model.TP4, 1600), clk)
+	eng.ConfigureKV(kvTierSlowCfg(256))
+	reqs := kvPropReqs(70, 41)
+	scheduleFrom(clk, eng, reqs, -1)
+	var cut simclock.Time
+	for at := simclock.Time(0.05); at < 60 && cut == 0; at += 0.05 {
+		clk.RunUntil(at)
+		if eng.swapInflight > 0 && eng.spillLen() > 0 {
+			cut = at
+		}
+	}
+	if cut == 0 {
+		t.Fatal("never caught an in-flight transfer with a spilled backlog")
+	}
+	eng.Drain(nil)
+	if eng.kvBlocksUsed != 0 || eng.kvTierUsed != 0 {
+		t.Fatalf("drain left %d GPU + %d tier blocks held", eng.kvBlocksUsed, eng.kvTierUsed)
+	}
+	if eng.QueueLen() != 0 {
+		t.Fatalf("drain left queue length %d", eng.QueueLen())
+	}
+	clk.Run() // pending swap event fires against a cancelled record
+	checkKVConservation(t, eng)
 }
 
 // TestKVPropDisaggHandoff: a prefill-only engine hands every multi-token

@@ -19,6 +19,7 @@ type SeqSnapshot struct {
 	Produced     int
 	Ctx          int
 	KVBlocks     int
+	TierBlocks   int
 	PrefixTokens int
 	NoPrefix     bool
 	Enqueued     simclock.Time
@@ -28,10 +29,20 @@ type SeqSnapshot struct {
 // PrefixSnapshot captures one prompt-prefix cache entry, in the cache's
 // insertion (eviction) order.
 type PrefixSnapshot struct {
-	Group  uint64
-	Tokens int
-	Blocks int
-	Refs   int
+	Group   uint64
+	Tokens  int
+	Blocks  int
+	Refs    int
+	Spilled bool
+}
+
+// SwapSnapshot captures one in-flight swap-in transfer: the sequence it
+// carries and the absolute link time at which it completes. Transfers are
+// stored in link (FIFO) order so the restored engine re-arms them with
+// identical completion ordering.
+type SwapSnapshot struct {
+	Seq SeqSnapshot
+	End simclock.Time
 }
 
 // Snapshot is a self-contained copy of an Engine at a quiescent instant:
@@ -67,16 +78,29 @@ type Snapshot struct {
 	PreemptedQ   []SeqSnapshot
 	Prefix       []PrefixSnapshot
 
-	TTFT       *metrics.Dist
-	TBT        *metrics.Dist
-	Completed  int
-	TokensIn   int
-	TokensOut  int
-	Preempted  int
-	PrefixHits int
-	KVRejected int
-	Handoffs   int
-	Meter      *energy.Meter
+	// Tier state (tier.go): the spilled queue in spill (LRU) order,
+	// swap-ins completed but not yet batched, in-flight transfers in link
+	// order (re-armed on restore), and the link backlog horizon.
+	KVTierUsed int
+	LinkFreeAt simclock.Time
+	Spilled    []SeqSnapshot
+	SwapReady  []SeqSnapshot
+	Swapping   []SwapSnapshot
+
+	TTFT          *metrics.Dist
+	TBT           *metrics.Dist
+	Completed     int
+	TokensIn      int
+	TokensOut     int
+	Preempted     int
+	PrefixHits    int
+	KVRejected    int
+	Handoffs      int
+	SwapOuts      int
+	SwapIns       int
+	Recomputes    int
+	TierEvictions int
+	Meter         *energy.Meter
 }
 
 func snapSeq(st *seqState) SeqSnapshot {
@@ -86,6 +110,7 @@ func snapSeq(st *seqState) SeqSnapshot {
 		Produced:     st.produced,
 		Ctx:          st.ctx,
 		KVBlocks:     st.kvBlocks,
+		TierBlocks:   st.tierBlocks,
 		PrefixTokens: st.prefixTokens,
 		NoPrefix:     st.noPrefix,
 		Enqueued:     st.enqueued,
@@ -117,7 +142,15 @@ func (e *Engine) Snapshot() *Snapshot {
 		KV:           e.kv,
 		KVBlocksUsed: e.kvBlocksUsed,
 		PrefillOnly:  e.prefillOnly,
-		Meter:        e.meter.Clone(),
+
+		KVTierUsed:    e.kvTierUsed,
+		LinkFreeAt:    e.linkFreeAt,
+		SwapOuts:      e.SwapOuts,
+		SwapIns:       e.SwapIns,
+		Recomputes:    e.Recomputes,
+		TierEvictions: e.TierEvictions,
+
+		Meter: e.meter.Clone(),
 	}
 	if n := len(e.waiting) - e.waitHead; n > 0 {
 		s.Waiting = make([]SeqSnapshot, 0, n)
@@ -134,7 +167,27 @@ func (e *Engine) Snapshot() *Snapshot {
 	if n := len(e.prefixList); n > 0 {
 		s.Prefix = make([]PrefixSnapshot, 0, n)
 		for _, pe := range e.prefixList {
-			s.Prefix = append(s.Prefix, PrefixSnapshot{Group: pe.group, Tokens: pe.tokens, Blocks: pe.blocks, Refs: pe.refs})
+			s.Prefix = append(s.Prefix, PrefixSnapshot{Group: pe.group, Tokens: pe.tokens, Blocks: pe.blocks, Refs: pe.refs, Spilled: pe.spilled})
+		}
+	}
+	if n := e.spillLen(); n > 0 {
+		s.Spilled = make([]SeqSnapshot, 0, n)
+		for i := e.spillHead; i < len(e.spilled); i++ {
+			s.Spilled = append(s.Spilled, snapSeq(e.spilled[i]))
+		}
+	}
+	if n := len(e.swapReady); n > 0 {
+		s.SwapReady = make([]SeqSnapshot, 0, n)
+		for _, st := range e.swapReady {
+			s.SwapReady = append(s.SwapReady, snapSeq(st))
+		}
+	}
+	if e.swapInflight > 0 {
+		s.Swapping = make([]SwapSnapshot, 0, e.swapInflight)
+		for i := e.swapHead; i < len(e.swapQ); i++ {
+			if t := e.swapQ[i]; t.st != nil {
+				s.Swapping = append(s.Swapping, SwapSnapshot{Seq: snapSeq(t.st), End: t.end})
+			}
 		}
 	}
 	if len(e.active) > 0 {
@@ -154,6 +207,7 @@ func restoreSeq(e *Engine, q SeqSnapshot) *seqState {
 	st.produced = q.Produced
 	st.ctx = q.Ctx
 	st.kvBlocks = q.KVBlocks
+	st.tierBlocks = q.TierBlocks
 	st.prefixTokens = q.PrefixTokens
 	st.noPrefix = q.NoPrefix
 	st.enqueued = q.Enqueued
@@ -191,18 +245,26 @@ func FromSnapshot(s *Snapshot, clock *simclock.Clock) *Engine {
 		KVRejected:  s.KVRejected,
 		Handoffs:    s.Handoffs,
 		prefillOnly: s.PrefillOnly,
+
+		SwapOuts:      s.SwapOuts,
+		SwapIns:       s.SwapIns,
+		Recomputes:    s.Recomputes,
+		TierEvictions: s.TierEvictions,
 	}
 	e.onIterStart = e.iterate
 	e.onIterEnd = e.finishIteration
+	e.onSwapDone = e.swapDone
 	if s.KV.BlockTokens > 0 {
 		e.ConfigureKV(s.KV)
 		e.kvBlocksUsed = s.KVBlocksUsed
+		e.kvTierUsed = s.KVTierUsed
+		e.linkFreeAt = s.LinkFreeAt
 		if len(s.Prefix) > 0 && e.prefixMap == nil {
 			e.prefixMap = make(map[uint64]*prefixEntry)
 		}
 		for _, p := range s.Prefix {
 			pe := e.getPrefix()
-			pe.group, pe.tokens, pe.blocks, pe.refs = p.Group, p.Tokens, p.Blocks, p.Refs
+			pe.group, pe.tokens, pe.blocks, pe.refs, pe.spilled = p.Group, p.Tokens, p.Blocks, p.Refs, p.Spilled
 			e.prefixMap[pe.group] = pe
 			e.prefixList = append(e.prefixList, pe)
 		}
@@ -215,6 +277,22 @@ func FromSnapshot(s *Snapshot, clock *simclock.Clock) *Engine {
 	}
 	for _, q := range s.Active {
 		e.active = append(e.active, restoreSeq(e, q))
+	}
+	for _, q := range s.Spilled {
+		e.spilled = append(e.spilled, restoreSeq(e, q))
+	}
+	for _, q := range s.SwapReady {
+		e.swapReady = append(e.swapReady, restoreSeq(e, q))
+	}
+	// Mid-swap transfers re-arm from their cut point: the completion event
+	// is rescheduled at its original absolute time, in link order, so the
+	// restored engine's swap-in deliveries are bit-identical.
+	for _, q := range s.Swapping {
+		t := e.getSwap()
+		t.st, t.end = restoreSeq(e, q.Seq), q.End
+		e.swapQ = append(e.swapQ, t)
+		e.swapInflight++
+		clock.At(t.end, e.onSwapDone)
 	}
 	// Re-arm the engine's single in-flight event. While running, exactly
 	// one of two events is pending: the iteration end (strictly in the

@@ -54,6 +54,16 @@ type Config struct {
 	// pool and a decode pool with a modeled KV-transfer handoff
 	// (core.Options.Disagg); implies event fidelity.
 	Disagg bool
+	// KVTier adds a spill tier below every engine's KV block pool
+	// (core.Options.KVTier); implies event fidelity and block accounting.
+	// The kv sweep overrides it per cell (the tier is its own axis).
+	KVTier core.KVTier
+	// KVTierBandwidth overrides the spill link bandwidth in bytes/s
+	// (core.Options.KVTierBandwidth; 0 keeps the tier default).
+	KVTierBandwidth float64
+	// KVSwapPolicy picks swap vs recompute per preemption victim
+	// (core.Options.KVSwapPolicy).
+	KVSwapPolicy core.KVSwapPolicy
 }
 
 // Default returns the standard harness configuration.
@@ -305,6 +315,9 @@ func (c Config) systemOptions(name string, mutate func(*core.Options)) (core.Opt
 	opts.Fidelity = c.Fidelity
 	opts.StepJobs = c.StepJobs
 	opts.Disagg = c.Disagg
+	opts.KVTier = c.KVTier
+	opts.KVTierBandwidth = c.KVTierBandwidth
+	opts.KVSwapPolicy = c.KVSwapPolicy
 	opts.WarmLoad = c.warm(trace.Conversation, trace.OpenSourceHourStart)
 	if mutate != nil {
 		mutate(&opts)

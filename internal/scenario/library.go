@@ -95,6 +95,26 @@ func Library() []*Scenario {
 			},
 		},
 		{
+			Name:        "tier-thrash",
+			Description: "KV spill-tier whiplash: load oscillates across the tier boundary — repeated short spikes force swap-outs, the lulls between them swap everything back",
+			Service:     "conversation",
+			StartHours:  32, // Tuesday 08:00
+			Days:        0.25,
+			Events: []Event{
+				// A hot shared-prefix phase fills the pool fast so each spike
+				// lands on an already-pressured cache.
+				{Kind: CacheThrash, AtHours: 0, DurationHours: 6, Fraction: 0.8, Groups: 2},
+				// Square-wave pressure: 30-minute 3x bursts separated by
+				// one-hour lulls. Each burst pushes victims over the tier
+				// boundary; each lull pulls them back, so a tiered KV config
+				// pays the swap link in both directions every cycle.
+				{Kind: Spike, AtHours: 0.5, DurationHours: 0.5, RateMult: 3},
+				{Kind: Spike, AtHours: 2, DurationHours: 0.5, RateMult: 3},
+				{Kind: Spike, AtHours: 3.5, DurationHours: 0.5, RateMult: 3},
+				{Kind: Spike, AtHours: 5, DurationHours: 0.5, RateMult: 3},
+			},
+		},
+		{
 			Name:        "mixed-week",
 			Description: "a week on the Coding service with everything at once: SLO crunch, flash crowd, agent-launch mix shift, rack outage, weekend price surge",
 			Service:     "coding",

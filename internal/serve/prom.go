@@ -73,6 +73,12 @@ func (s *Session) renderMetrics(w *bytes.Buffer) {
 	c("kv_prefix_hits_total", "prompt-prefix cache hits", float64(st.KVPrefixHits))
 	c("kv_rejected_total", "admissions rejected as oversize for an empty KV pool", float64(st.KVRejected))
 	c("kv_handoffs_total", "prefill-to-decode handoffs under disaggregation", float64(st.Handoffs))
+	g("kv_tier_used_blocks", "spill-tier occupancy summed over live event engines", float64(st.KVTierUsedBlocks))
+	g("kv_tier_total_blocks", "spill-tier capacity summed over live event engines", float64(st.KVTierTotalBlocks))
+	c("kv_swap_outs_total", "sequences swapped out to the spill tier", float64(st.KVSwapOuts))
+	c("kv_swap_ins_total", "sequences swapped back in from the spill tier", float64(st.KVSwapIns))
+	c("kv_recomputes_total", "preempted sequences resolved by prefill recompute", float64(st.KVRecomputes))
+	c("kv_tier_evictions_total", "spilled sequences evicted from a full tier to recompute", float64(st.KVTierEvictions))
 
 	writeSummary(w, "ttft_seconds", "time to first token", "", res.TTFT)
 	writeSummary(w, "tbt_seconds", "time between tokens", "", res.TBT)

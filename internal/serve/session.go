@@ -744,6 +744,14 @@ type Stats struct {
 	KVPrefixHits  int `json:"kv_prefix_hits"`
 	KVRejected    int `json:"kv_rejected"`
 	Handoffs      int `json:"kv_handoffs"`
+	// Spill-tier occupancy and swap dynamics (zero when no tier is
+	// configured).
+	KVTierUsedBlocks  int `json:"kv_tier_used_blocks"`
+	KVTierTotalBlocks int `json:"kv_tier_total_blocks"`
+	KVSwapOuts        int `json:"kv_swap_outs"`
+	KVSwapIns         int `json:"kv_swap_ins"`
+	KVRecomputes      int `json:"kv_recomputes"`
+	KVTierEvictions   int `json:"kv_tier_evictions"`
 	// RestoredAtS is the virtual instant a crash-restored session resumed
 	// from (0 for a fresh session); LastCheckpointS is the virtual instant
 	// of the latest durable checkpoint (0 when durability is off).
@@ -802,6 +810,12 @@ func (s *Session) statsLocked() Stats {
 	st.KVPrefixHits = kv.PrefixHits
 	st.KVRejected = kv.Rejected
 	st.Handoffs = kv.Handoffs
+	st.KVTierUsedBlocks = kv.TierUsedBlocks
+	st.KVTierTotalBlocks = kv.TierTotalBlocks
+	st.KVSwapOuts = kv.SwapOuts
+	st.KVSwapIns = kv.SwapIns
+	st.KVRecomputes = kv.Recomputes
+	st.KVTierEvictions = kv.TierEvictions
 	if boundary > 0 {
 		st.AvgServers = res.GPUSeconds / 8 / boundary
 	}
