@@ -153,10 +153,10 @@ func (b *fluidBackend) Finish(simclock.Time) {}
 // meters' integral; per-class token-level TTFT/TBT land in
 // Result.ClassTTFT/ClassTBT.
 type eventBackend struct {
-	sm  *simulation
-	c   *Cluster
-	s   *sharedState
-	res *Result
+	sm  *simulation  //snapshot:ignore re-bound by backend.bind on the cloned simulation
+	c   *Cluster     //snapshot:ignore set by newEventBackend from the clone targets cloneFor receives
+	s   *sharedState //snapshot:ignore set by newEventBackend from the cloned cluster's shared state
+	res *Result      //snapshot:ignore set by newEventBackend from the clone targets cloneFor receives
 
 	// now is the backend's time: the end of the last RunTo (every live
 	// engine clock stands exactly here between ticks).
@@ -184,9 +184,9 @@ type eventBackend struct {
 	// stepClocks is the reusable scratch listing the distinct clocks the
 	// stepping pool drives this tick (one per engine normally, one per
 	// pool group under disaggregation).
-	stepClocks []*simclock.Clock
+	stepClocks []*simclock.Clock //snapshot:ignore tick-scoped scratch; rebuilt at the top of every RunTo
 	// scratch stages drained requests during migrations.
-	scratch []workload.Request
+	scratch []workload.Request //snapshot:ignore migration-scoped scratch; always empty between ticks
 }
 
 // kvTransfer is one in-flight prefill-to-decode KV handoff: the request,

@@ -196,13 +196,13 @@ type Instance struct {
 	capValid bool
 	// stKeyC/stC memoize instanceSteady for the last steady key.
 	stKeyC  steadyKey
-	stC     perfmodel.Steady
+	stC     perfmodel.Steady //snapshot:ignore memo cache keyed by cloned value inputs; stays valid after the wholesale copy
 	stValid bool
 	// marginalC/marginalEntryC memoize pickInstance's marginal-power
 	// term, which depends only on tick-stable inputs (rate, mix, freq);
 	// marginalTick is the 1-based tick it was computed for (0 = never).
 	marginalC      float64
-	marginalEntryC *profile.Entry
+	marginalEntryC *profile.Entry //snapshot:ignore points into the shared immutable profile repository
 	marginalTick   int
 }
 
@@ -713,6 +713,7 @@ func (p *Pool) liveCount() int {
 // demand at all.
 func priceCounts(s *sharedState, cls workload.Class, counts map[model.TP]int, demand float64) (power, capacity float64, ok bool) {
 	total := 0
+	//dynamolint:order-independent exact integer sum; addition order cannot change it
 	for _, n := range counts {
 		total += n
 	}

@@ -63,7 +63,7 @@ const (
 
 // Result aggregates everything the evaluation figures need from one run.
 type Result struct {
-	Opts     Options
+	Opts     Options //snapshot:ignore run configuration; the clone deliberately shares hooks and observer with the original
 	Duration float64
 
 	// Request conservation: every routed request reaches exactly one
@@ -211,6 +211,48 @@ func (r *Result) CheckInvariants() error {
 	if r.KVSwapOuts+r.KVRecomputes != r.KVPreemptions+r.KVTierEvictions {
 		return fmt.Errorf("core: KV preemption conservation violated: SwapOuts=%d + Recomputes=%d != Preemptions=%d + TierEvictions=%d",
 			r.KVSwapOuts, r.KVRecomputes, r.KVPreemptions, r.KVTierEvictions)
+	}
+	// Retry accounting: every completed-after-retry request had at least
+	// one retry attempt scheduled, so RetrySuccess can never pass Retried.
+	if r.Retried < 0 || r.RetrySuccess > r.Retried {
+		return fmt.Errorf("core: retry accounting violated: RetrySuccess=%d with Retried=%d",
+			r.RetrySuccess, r.Retried)
+	}
+	// Reconfiguration and fault counters are pure event tallies; the only
+	// algebra they obey is monotonicity from zero.
+	if r.Reshards < 0 || r.ScaleOuts < 0 || r.ScaleIns < 0 || r.FreqChanges < 0 ||
+		r.Emergencies < 0 || r.Merges < 0 {
+		return fmt.Errorf("core: negative reconfiguration counter: reshards=%d out=%d in=%d freq=%d emergencies=%d merges=%d",
+			r.Reshards, r.ScaleOuts, r.ScaleIns, r.FreqChanges, r.Emergencies, r.Merges)
+	}
+	if r.Outages < 0 || r.Recoveries < 0 || r.Stragglers < 0 || r.Blips < 0 {
+		return fmt.Errorf("core: negative fault counter: outages=%d recoveries=%d stragglers=%d blips=%d",
+			r.Outages, r.Recoveries, r.Stragglers, r.Blips)
+	}
+	// A recovery drains the failed-GPU ledger, which only outages fill.
+	if r.Recoveries > 0 && r.Outages == 0 {
+		return fmt.Errorf("core: %d recoveries with no outage", r.Recoveries)
+	}
+	// Per-class SLO accounting: ClassRequests counts completions that
+	// reached the class-level SLO judgement (the fluid saturated path
+	// skips it, so the sum is bounded by Completed, not equal to it), and
+	// each judged request lands in exactly one of SLOMet or its class's
+	// violation bucket.
+	classReqs, classViol := 0, 0
+	for cls := range r.ClassRequests {
+		if r.ClassViolations[cls] > r.ClassRequests[cls] {
+			return fmt.Errorf("core: class %d: ClassViolations=%d exceeds ClassRequests=%d",
+				cls, r.ClassViolations[cls], r.ClassRequests[cls])
+		}
+		classReqs += r.ClassRequests[cls]
+		classViol += r.ClassViolations[cls]
+	}
+	if classReqs > r.Completed {
+		return fmt.Errorf("core: sum(ClassRequests)=%d exceeds Completed=%d", classReqs, r.Completed)
+	}
+	if r.SLOMet+classViol != classReqs {
+		return fmt.Errorf("core: SLO judgement not exhaustive: SLOMet=%d + violations=%d != judged=%d",
+			r.SLOMet, classViol, classReqs)
 	}
 	return nil
 }
@@ -594,10 +636,10 @@ type simulation struct {
 	retryQ []retryEntry
 	// retryScratch stages the due prefix during drainRetries so
 	// re-admission may push fresh failures onto retryQ mid-drain.
-	retryScratch []retryEntry
+	retryScratch []retryEntry //snapshot:ignore drain-scoped scratch; always empty between ticks
 	// draining marks the post-horizon backend drain (finish): failures
 	// surfaced there are terminal — a retry could never be served.
-	draining bool
+	draining bool //snapshot:ignore only set inside finish(), after the last possible snapshot point
 }
 
 // retryEntry is one squashed request waiting out its retry backoff.
@@ -620,16 +662,21 @@ func (sm *simulation) reserve() {
 
 	res := sm.res
 	series := []*metrics.Series{res.PowerSeries, res.FreqSeries, res.EnergySeries}
+	//dynamolint:order-independent each series is Reserved exactly once; visit order has no effect
 	for _, s := range res.PoolFreqSeries {
 		series = append(series, s)
 	}
+	//dynamolint:order-independent each series is Reserved exactly once; visit order has no effect
 	for _, s := range res.PoolLoadSeries {
 		series = append(series, s)
 	}
+	//dynamolint:order-independent each series is Reserved exactly once; visit order has no effect
 	for _, s := range res.ShardSeries {
 		series = append(series, s)
 	}
+	//dynamolint:order-independent each series is Reserved exactly once; visit order has no effect
 	for _, byTP := range res.PoolShardSeries {
+		//dynamolint:order-independent each series is Reserved exactly once; visit order has no effect
 		for _, s := range byTP {
 			series = append(series, s)
 		}
@@ -657,6 +704,8 @@ func (sm *simulation) assignFor(id int) *assign {
 }
 
 // step advances the simulation by one instance-manager tick.
+//
+//dynamolint:steadystate
 func (sm *simulation) step(tick int) {
 	c, s, res, opts := sm.c, sm.s, sm.res, sm.opts
 	s.curTick = tick + 1

@@ -272,6 +272,7 @@ func cloneResult(r *Result) *Result {
 	nr.PoolLoadSeries = cloneSeriesByClass(r.PoolLoadSeries)
 	nr.ShardSeries = cloneSeriesByTP(r.ShardSeries)
 	nr.PoolShardSeries = make(map[workload.Class]map[model.TP]*metrics.Series, len(r.PoolShardSeries))
+	//dynamolint:order-independent map-to-map rebuild; the result is keyed, not ordered
 	for cls, byTP := range r.PoolShardSeries {
 		nr.PoolShardSeries[cls] = cloneSeriesByTP(byTP)
 	}
@@ -280,6 +281,7 @@ func cloneResult(r *Result) *Result {
 
 func cloneSeriesByClass(m map[workload.Class]*metrics.Series) map[workload.Class]*metrics.Series {
 	out := make(map[workload.Class]*metrics.Series, len(m))
+	//dynamolint:order-independent map-to-map rebuild; the result is keyed, not ordered
 	for k, s := range m {
 		out[k] = s.Clone()
 	}
@@ -288,6 +290,7 @@ func cloneSeriesByClass(m map[workload.Class]*metrics.Series) map[workload.Class
 
 func cloneSeriesByTP(m map[model.TP]*metrics.Series) map[model.TP]*metrics.Series {
 	out := make(map[model.TP]*metrics.Series, len(m))
+	//dynamolint:order-independent map-to-map rebuild; the result is keyed, not ordered
 	for k, s := range m {
 		out[k] = s.Clone()
 	}

@@ -22,6 +22,7 @@
 package engine
 
 import (
+	"fmt"
 	"math"
 
 	"dynamollm/internal/energy"
@@ -76,6 +77,60 @@ type LatencySink interface {
 	ObserveTBT(cls workload.Class, seconds float64)
 }
 
+// Counters is the engine's monotonic event-counter bank. The fields are
+// plain ints bumped on the event paths; the algebra relating them is
+// asserted by CheckLaws after every clock event in the property suite,
+// and the conserve analyzer (internal/lint) refuses any new integer
+// field here that CheckLaws does not reference.
+type Counters struct {
+	// Completed counts requests finished by this engine.
+	Completed int
+	// TokensIn/TokensOut audit token conservation across handoffs.
+	TokensIn, TokensOut int
+	// KV dynamics counters (block accounting only).
+	Preempted  int // decode sequences evicted under KV pressure
+	PrefixHits int // admissions that reused a cached prompt prefix
+	KVRejected int // requests whose KV footprint can never fit
+	Handoffs   int // prefill→decode migrations (disaggregated mode)
+	// Tier counters (tier.go). Every preemption resolves as a swap-out or
+	// a recompute, and every tier eviction converts a swap-out into a
+	// recompute, so SwapOuts + Recomputes == Preempted + TierEvictions.
+	SwapOuts      int // sequences spilled to the tier
+	SwapIns       int // spilled sequences swapped back in
+	Recomputes    int // preemptions resolved by recompute-on-resume
+	TierEvictions int // spilled sequences evicted from a full tier
+}
+
+// CheckLaws verifies the counter algebra that holds at every instant:
+// non-negativity, the one-way swap link (a sequence is never resident
+// and spilled at once, so SwapIns can never pass SwapOuts), and
+// preemption conservation (every preemption resolves as exactly one
+// swap-out or one recompute, with tier evictions converting swap-outs
+// into recomputes). A non-nil error means a counter was bumped off its
+// event path.
+func (c *Counters) CheckLaws() error {
+	if c.Completed < 0 || c.TokensIn < 0 || c.TokensOut < 0 {
+		return fmt.Errorf("engine: negative throughput counter: completed=%d in=%d out=%d",
+			c.Completed, c.TokensIn, c.TokensOut)
+	}
+	if c.Preempted < 0 || c.PrefixHits < 0 || c.KVRejected < 0 || c.Handoffs < 0 {
+		return fmt.Errorf("engine: negative KV counter: preempted=%d hits=%d rejected=%d handoffs=%d",
+			c.Preempted, c.PrefixHits, c.KVRejected, c.Handoffs)
+	}
+	if c.SwapOuts < 0 || c.SwapIns < 0 || c.Recomputes < 0 || c.TierEvictions < 0 {
+		return fmt.Errorf("engine: negative tier counter: swapouts=%d swapins=%d recomputes=%d evictions=%d",
+			c.SwapOuts, c.SwapIns, c.Recomputes, c.TierEvictions)
+	}
+	if c.SwapIns > c.SwapOuts {
+		return fmt.Errorf("engine: SwapIns=%d exceeds SwapOuts=%d", c.SwapIns, c.SwapOuts)
+	}
+	if c.SwapOuts+c.Recomputes != c.Preempted+c.TierEvictions {
+		return fmt.Errorf("engine: preemption conservation violated: SwapOuts=%d + Recomputes=%d != Preempted=%d + TierEvictions=%d",
+			c.SwapOuts, c.Recomputes, c.Preempted, c.TierEvictions)
+	}
+	return nil
+}
+
 // Engine is one simulated inference server instance.
 type Engine struct {
 	Cfg   perfmodel.Config
@@ -96,7 +151,7 @@ type Engine struct {
 	// Block-granular KV accounting (kv.go). kvBlocksCap == 0 keeps the
 	// legacy token-granular path above bit-for-bit.
 	kv           KVConfig
-	kvBlocksCap  int
+	kvBlocksCap  int //snapshot:ignore recomputed by ConfigureKV from the snapshotted KVConfig
 	kvBlocksUsed int
 	// preempted holds decode sequences evicted under KV pressure; they
 	// re-enter admission (re-prefilling their recomputed context) with
@@ -108,12 +163,12 @@ type Engine struct {
 	// (map iteration order must never drive behaviour).
 	prefixMap  map[uint64]*prefixEntry
 	prefixList []*prefixEntry
-	freePrefix []*prefixEntry
+	freePrefix []*prefixEntry //snapshot:ignore free-list scratch; a restored engine starts with empty pools
 	// Tiered KV spill state (tier.go). kvTierCap == 0 disables the tier
 	// and keeps the recompute-only path above bit-for-bit.
-	kvTierCap  int
+	kvTierCap  int //snapshot:ignore recomputed by ConfigureKV from the snapshotted KVConfig
 	kvTierUsed int
-	tierBW     float64
+	tierBW     float64 //snapshot:ignore recomputed by ConfigureKV from the snapshotted KVConfig
 	// linkFreeAt is when the swap link next idles; transfers serialize
 	// behind it (the bandwidth queue).
 	linkFreeAt simclock.Time
@@ -128,7 +183,7 @@ type Engine struct {
 	swapQ        []*swapIn
 	swapHead     int
 	swapReady    []*seqState
-	freeSwap     []*swapIn
+	freeSwap     []*swapIn //snapshot:ignore free-list scratch; a restored engine starts with empty pools
 	swapInflight int
 	// onSwapDone is the swap-in completion callback, bound once so
 	// scheduling a transfer does not allocate a closure.
@@ -137,14 +192,14 @@ type Engine struct {
 	// prefillOnly marks the prefill side of a disaggregated pair:
 	// sequences hand off (onHandoff) right after their first token.
 	prefillOnly bool
-	onHandoff   func(req workload.Request, ctx int)
-	onReject    func(workload.Request)
+	onHandoff   func(req workload.Request, ctx int) //snapshot:ignore callback; the owning backend re-binds after restore
+	onReject    func(workload.Request)              //snapshot:ignore callback; the owning backend re-binds after restore
 
 	meter *energy.Meter
 
 	// free is the seqState pool; finished or drained sequences return
 	// here instead of garbage.
-	free []*seqState
+	free []*seqState //snapshot:ignore free-list scratch; a restored engine starts with empty pools
 	// iterEnd is the scheduled end of the in-flight iteration, read by
 	// onIterEnd (one iteration is in flight at a time).
 	iterEnd simclock.Time
@@ -159,30 +214,21 @@ type Engine struct {
 	onIterEnd   func()
 
 	// Measurements.
-	TTFT      *metrics.Dist
-	TBT       *metrics.Dist
-	Completed int
-	// TokensIn/TokensOut audit conservation.
-	TokensIn, TokensOut int
-	// KV dynamics counters (block accounting only).
-	Preempted  int // decode sequences evicted under KV pressure
-	PrefixHits int // admissions that reused a cached prompt prefix
-	KVRejected int // requests whose KV footprint can never fit
-	Handoffs   int // prefill→decode migrations (disaggregated mode)
-	// Tier counters (tier.go). Every preemption resolves as a swap-out or
-	// a recompute, and every tier eviction converts a swap-out into a
-	// recompute, so SwapOuts + Recomputes == Preempted + TierEvictions.
-	SwapOuts      int // sequences spilled to the tier
-	SwapIns       int // spilled sequences swapped back in
-	Recomputes    int // preemptions resolved by recompute-on-resume
-	TierEvictions int // spilled sequences evicted from a full tier
+	TTFT *metrics.Dist
+	TBT  *metrics.Dist
+	// Counters is the engine's integer counter bank, embedded so call
+	// sites keep reading e.Completed, e.Preempted, ... unchanged. It is
+	// a separate struct so the counter algebra lives in one place
+	// (CheckLaws) and the conserve analyzer (internal/lint) can require
+	// every field to be checked there.
+	Counters
 
 	// onComplete, if set, is called as requests finish.
-	onComplete func(*workload.Request)
+	onComplete func(*workload.Request) //snapshot:ignore callback; the owning backend re-binds after restore
 	// onToken, if set, is called for every produced output token.
-	onToken func(req *workload.Request, produced int, now simclock.Time)
+	onToken func(req *workload.Request, produced int, now simclock.Time) //snapshot:ignore callback; the owning backend re-binds after restore
 	// sink, if set, receives per-class latency samples (SetSink).
-	sink LatencySink
+	sink LatencySink //snapshot:ignore callback sink; the owning backend re-binds after restore
 }
 
 // New builds an engine for the configuration on the given clock. The GPUs
@@ -389,6 +435,8 @@ func (e *Engine) WaitingLen() int {
 }
 
 // kick schedules the next iteration if the engine is idle and has work.
+//
+//dynamolint:steadystate
 func (e *Engine) kick() {
 	if e.running || (e.WaitingLen() == 0 && len(e.active) == 0) {
 		return
@@ -405,6 +453,8 @@ func (e *Engine) kick() {
 // iterate runs one engine iteration: admit prefill chunks within the token
 // budget and KV capacity, decode every active sequence one token, then
 // schedule the iteration end.
+//
+//dynamolint:steadystate
 func (e *Engine) iterate() {
 	now := e.clock.Now()
 
@@ -511,6 +561,8 @@ func (e *Engine) iterate() {
 // finishIteration produces the in-flight iteration's tokens, retires
 // completed sequences, and schedules the next iteration. The active batch
 // is compacted in place so steady-state decoding reuses its scratch.
+//
+//dynamolint:steadystate
 func (e *Engine) finishIteration() {
 	end := e.iterEnd
 	e.meter.SetPower(end, gpu.H100.Power(e.Cfg.Freq, 0)*float64(e.Cfg.GPUs()))

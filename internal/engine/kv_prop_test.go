@@ -105,12 +105,8 @@ func checkKVConservation(t *testing.T, e *Engine) {
 // eviction resolved as exactly one swap-out or one recompute.
 func checkTierCounters(t *testing.T, e *Engine) {
 	t.Helper()
-	if e.SwapIns > e.SwapOuts {
-		t.Fatalf("t=%v: %d swap-ins exceed %d swap-outs", e.clock.Now(), e.SwapIns, e.SwapOuts)
-	}
-	if e.SwapOuts+e.Recomputes != e.Preempted+e.TierEvictions {
-		t.Fatalf("t=%v: counter conservation broken: swapouts %d + recomputes %d != preempted %d + evictions %d",
-			e.clock.Now(), e.SwapOuts, e.Recomputes, e.Preempted, e.TierEvictions)
+	if err := e.CheckLaws(); err != nil {
+		t.Fatalf("t=%v: %v", e.clock.Now(), err)
 	}
 }
 

@@ -237,19 +237,20 @@ func FromSnapshot(s *Snapshot, clock *simclock.Clock) *Engine {
 		meter:       s.Meter.Clone(),
 		TTFT:        s.TTFT.Clone(),
 		TBT:         s.TBT.Clone(),
-		Completed:   s.Completed,
-		TokensIn:    s.TokensIn,
-		TokensOut:   s.TokensOut,
-		Preempted:   s.Preempted,
-		PrefixHits:  s.PrefixHits,
-		KVRejected:  s.KVRejected,
-		Handoffs:    s.Handoffs,
 		prefillOnly: s.PrefillOnly,
-
-		SwapOuts:      s.SwapOuts,
-		SwapIns:       s.SwapIns,
-		Recomputes:    s.Recomputes,
-		TierEvictions: s.TierEvictions,
+		Counters: Counters{
+			Completed:     s.Completed,
+			TokensIn:      s.TokensIn,
+			TokensOut:     s.TokensOut,
+			Preempted:     s.Preempted,
+			PrefixHits:    s.PrefixHits,
+			KVRejected:    s.KVRejected,
+			Handoffs:      s.Handoffs,
+			SwapOuts:      s.SwapOuts,
+			SwapIns:       s.SwapIns,
+			Recomputes:    s.Recomputes,
+			TierEvictions: s.TierEvictions,
+		},
 	}
 	e.onIterStart = e.iterate
 	e.onIterEnd = e.finishIteration

@@ -129,6 +129,8 @@ func (e *Engine) policySaysSwap(st *seqState) bool {
 // whether it did. A false return means the caller recomputes instead: tier
 // disabled, the policy preferred recompute, or the tier is full beyond
 // what eviction can reclaim (the forced-recompute fallback).
+//
+//dynamolint:steadystate
 func (e *Engine) trySpill(st *seqState) bool {
 	if e.kvTierCap == 0 {
 		return false
@@ -194,6 +196,8 @@ func (e *Engine) tierReclaim(need int) bool {
 
 // flushSwapReady moves sequences whose swap-in completed between
 // iterations into the decode batch (they decode from this iteration on).
+//
+//dynamolint:steadystate
 func (e *Engine) flushSwapReady() {
 	for i, st := range e.swapReady {
 		e.active = append(e.active, st)
@@ -208,6 +212,8 @@ func (e *Engine) flushSwapReady() {
 // blocked head may reclaim their partial admissions and stalls admission
 // behind it (the same strict-priority, no-starvation discipline the
 // preempted queue gets). Reports whether the head is blocked on blocks.
+//
+//dynamolint:steadystate
 func (e *Engine) admitSwapIns() (blocked bool) {
 	for e.spillHead < len(e.spilled) {
 		st := e.spilled[e.spillHead]
@@ -258,6 +264,8 @@ func (e *Engine) admitSwapIns() (blocked bool) {
 // swapDone is the link event for the oldest in-flight swap-in: the
 // sequence rejoins the decode batch at the next iteration boundary.
 // Completions pop in FIFO order because the link serializes transfers.
+//
+//dynamolint:steadystate
 func (e *Engine) swapDone() {
 	t := e.swapQ[e.swapHead]
 	e.swapQ[e.swapHead] = nil

@@ -570,6 +570,7 @@ func serversFor(tr trace.Trace) int {
 	for _, e := range tr {
 		buckets[int(float64(e.At)/1800)]++
 	}
+	//dynamolint:order-independent max over values; comparison order cannot change the max
 	for _, n := range buckets {
 		if r := n / 1800; r > peak {
 			peak = r

@@ -267,6 +267,7 @@ func bin(pts []metrics.Point, width float64) []point {
 		v := agg[k]
 		agg[k] = [2]float64{v[0] + p.Value, v[1] + 1}
 	}
+	//dynamolint:order-independent keys are collected then sorted before any ordered use
 	for k := range agg {
 		keys = append(keys, k)
 	}

@@ -1,0 +1,7 @@
+package lint
+
+import "testing"
+
+func TestConserve(t *testing.T) {
+	runAnalyzerTest(t, NewConserve(), "conserve", "example.com/conserve")
+}

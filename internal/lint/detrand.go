@@ -1,0 +1,177 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// wallClockMembers are the package time members that read or schedule
+// against the real clock. Referencing one (call or function value) in a
+// sim-deterministic package breaks byte-identical replay.
+var wallClockMembers = map[string]bool{
+	"Now": true, "Since": true, "Until": true, "Sleep": true,
+	"After": true, "AfterFunc": true, "Tick": true,
+	"NewTimer": true, "NewTicker": true,
+}
+
+// randConstructors are the math/rand members that build local,
+// explicitly-seeded generators; everything else callable in math/rand
+// (Intn, Float64, Shuffle, ...) draws from the process-global source.
+var randConstructors = map[string]bool{
+	"New": true, "NewSource": true, "NewZipf": true,
+	// math/rand/v2 constructors.
+	"NewPCG": true, "NewChaCha8": true,
+}
+
+// NewDetrand builds the detrand analyzer: sim-deterministic packages
+// (Config.Deterministic) must not read wall clocks or global math/rand
+// state, must not range over maps without a sorted-key rewrite or an
+// order-independence waiver, and goroutine closures must not write
+// shared captured variables. Wall-clock packages (Config.Wallclock) may
+// read real time, but only in files annotated //dynamolint:wallclock.
+func NewDetrand() *Analyzer {
+	a := &Analyzer{
+		Name: "detrand",
+		Doc:  "forbid nondeterminism sources (wall clock, global rand, map order, racy captures) in sim-deterministic packages",
+	}
+	a.Run = runDetrand
+	return a
+}
+
+func runDetrand(pass *Pass) error {
+	det := pass.Config.IsDeterministic(pass.Path)
+	wall := pass.Config.IsWallclock(pass.Path)
+	if !det && !wall {
+		return nil
+	}
+	for _, f := range pass.Files {
+		wallReason, hasWallDir := fileDirective(f, DirWallclock)
+		if det && hasWallDir {
+			pass.Reportf(f.Name.Pos(),
+				"package %s is classified sim-deterministic; a //%s annotation cannot waive it",
+				pass.Path, DirWallclock)
+		}
+		if wall && hasWallDir && wallReason == "" {
+			pass.Reportf(f.Name.Pos(),
+				"//%s annotation needs a justification (\"//%s <why this file reads real time>\")",
+				DirWallclock, DirWallclock)
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.SelectorExpr:
+				checkClockAndRand(pass, f, n, det, wall, hasWallDir)
+			case *ast.RangeStmt:
+				if det {
+					checkMapRange(pass, f, n)
+				}
+			case *ast.GoStmt:
+				if det {
+					checkGoCapture(pass, f, n)
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func checkClockAndRand(pass *Pass, f *ast.File, sel *ast.SelectorExpr, det, wall, hasWallDir bool) {
+	if member, ok := isPkgSelector(pass.Info, sel, "time"); ok && wallClockMembers[member] {
+		switch {
+		case det:
+			pass.Reportf(sel.Pos(),
+				"time.%s in sim-deterministic package %s: use the simulation clock (simclock) instead",
+				member, pass.Path)
+		case wall && !hasWallDir:
+			pass.Reportf(sel.Pos(),
+				"time.%s in wall-clock package %s: annotate the file with //%s <reason>",
+				member, pass.Path, DirWallclock)
+		}
+		return
+	}
+	if !det {
+		return
+	}
+	for _, randPath := range []string{"math/rand", "math/rand/v2"} {
+		member, ok := isPkgSelector(pass.Info, sel, randPath)
+		if !ok {
+			continue
+		}
+		obj := pass.Info.Uses[sel.Sel]
+		if _, isFunc := obj.(*types.Func); isFunc && !randConstructors[member] {
+			pass.Reportf(sel.Pos(),
+				"global %s.%s in sim-deterministic package %s: draw from a seeded local generator (simclock.NewRNG) instead",
+				randPath, member, pass.Path)
+		}
+	}
+}
+
+func checkMapRange(pass *Pass, f *ast.File, rs *ast.RangeStmt) {
+	tv, ok := pass.Info.Types[rs.X]
+	if !ok || tv.Type == nil {
+		return
+	}
+	if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+		return
+	}
+	reason, waived := pass.waiverAt(f, rs.Pos(), DirOrderIndependent)
+	if waived && reason != "" {
+		return
+	}
+	if waived {
+		pass.Reportf(rs.Pos(),
+			"//%s waiver needs a justification (\"//%s <why order cannot reach output>\")",
+			DirOrderIndependent, DirOrderIndependent)
+		return
+	}
+	pass.Reportf(rs.Pos(),
+		"map iteration order is random in sim-deterministic package %s: iterate sorted keys (internal/order) or waive with //%s <reason>",
+		pass.Path, DirOrderIndependent)
+}
+
+// checkGoCapture flags goroutine closures that assign to variables
+// declared outside the closure: unsynchronized shared writes are both a
+// race and a nondeterministic merge order. The sanctioned pattern is an
+// index-slotted write (results[i] = ...), which stays legal because the
+// indexed element, not the captured slice header, is written.
+func checkGoCapture(pass *Pass, f *ast.File, g *ast.GoStmt) {
+	lit, ok := g.Call.Fun.(*ast.FuncLit)
+	if !ok {
+		return
+	}
+	report := func(id *ast.Ident) {
+		reason, waived := pass.waiverAt(f, id.Pos(), DirOrderIndependent)
+		if waived && reason != "" {
+			return
+		}
+		pass.Reportf(id.Pos(),
+			"goroutine closure writes captured variable %q in sim-deterministic package %s: slot results by index or waive with //%s <reason>",
+			id.Name, pass.Path, DirOrderIndependent)
+	}
+	isCaptured := func(id *ast.Ident) bool {
+		if id.Name == "_" {
+			return false
+		}
+		obj, ok := pass.Info.Uses[id].(*types.Var)
+		if !ok || obj.Pos() == token.NoPos {
+			return false
+		}
+		return obj.Pos() < lit.Pos() || obj.Pos() >= lit.End()
+	}
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				if id, ok := lhs.(*ast.Ident); ok && isCaptured(id) {
+					report(id)
+				}
+			}
+		case *ast.IncDecStmt:
+			if id, ok := n.X.(*ast.Ident); ok && isCaptured(id) {
+				report(id)
+			}
+		}
+		return true
+	})
+}

@@ -1,0 +1,30 @@
+package lint
+
+import "testing"
+
+func TestDetrandDeterministicPackage(t *testing.T) {
+	runAnalyzerTest(t, NewDetrand(), "det", "example.com/det")
+}
+
+func TestDetrandWallclockPackage(t *testing.T) {
+	runAnalyzerTest(t, NewDetrand(), "wall", "example.com/wall")
+}
+
+func TestDetrandIgnoresUnclassifiedPackages(t *testing.T) {
+	pkg := loadTestPackage(t, "det", "example.com/unclassified")
+	pass := &Pass{
+		Analyzer: NewDetrand(),
+		Config:   testConfig(),
+		Fset:     pkg.Fset,
+		Path:     pkg.Path,
+		Files:    pkg.Files,
+		Pkg:      pkg.Pkg,
+		Info:     pkg.Info,
+	}
+	if err := pass.Analyzer.Run(pass); err != nil {
+		t.Fatal(err)
+	}
+	if ds := pass.Diagnostics(); len(ds) != 0 {
+		t.Fatalf("unclassified package produced %d diagnostics, want 0; first: %v", len(ds), ds[0])
+	}
+}

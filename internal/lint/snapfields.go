@@ -1,0 +1,345 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// NewSnapfields builds the snapfields analyzer: for every struct that
+// participates in the snapshot/clone graph — it has a Clone, Snapshot,
+// or FromSnapshot-style method, or a clone*/snap*/restore*/resume*
+// helper takes it as first argument — every field must be referenced
+// somewhere in those functions or carry //snapshot:ignore <reason>.
+// When the function copies the whole struct (n := *r), value-typed
+// fields are covered by the copy and only aliasing fields (pointers,
+// slices, maps, chans, funcs, interfaces, and containers thereof) still
+// need an explicit deep-copy reference.
+func NewSnapfields() *Analyzer {
+	a := &Analyzer{
+		Name: "snapfields",
+		Doc:  "every field of a cloned/snapshotted struct must be handled by its clone path or waived with //snapshot:ignore",
+	}
+	a.Run = runSnapfields
+	return a
+}
+
+// snapFuncPrefixes classify a function as part of a struct's clone path
+// by name (lower-cased match).
+var snapFuncPrefixes = []string{"clone", "snap", "restore", "resume", "fromsnapshot"}
+
+func isSnapFuncName(name string) bool {
+	l := strings.ToLower(name)
+	for _, p := range snapFuncPrefixes {
+		if strings.HasPrefix(l, p) {
+			return true
+		}
+	}
+	return false
+}
+
+// snapTarget is one struct under audit plus its clone-path functions.
+type snapTarget struct {
+	name   *types.TypeName
+	strct  *types.Struct
+	funcs  []*ast.FuncDecl
+	fnames []string
+}
+
+func runSnapfields(pass *Pass) error {
+	targets := map[*types.TypeName]*snapTarget{}
+	addFunc := func(t types.Type, fn *ast.FuncDecl) {
+		named := namedStructOf(t)
+		if named == nil {
+			return
+		}
+		strct, ok := named.Underlying().(*types.Struct)
+		if !ok || named.Obj().Pkg() != pass.Pkg {
+			return
+		}
+		tgt := targets[named.Obj()]
+		if tgt == nil {
+			tgt = &snapTarget{name: named.Obj(), strct: strct}
+			targets[named.Obj()] = tgt
+		}
+		tgt.funcs = append(tgt.funcs, fn)
+		tgt.fnames = append(tgt.fnames, fn.Name.Name)
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil || !isSnapFuncName(fn.Name.Name) {
+				continue
+			}
+			if fn.Recv != nil && len(fn.Recv.List) == 1 {
+				// A method is a clone path for its receiver when it
+				// returns the receiver type or a snapshot carrier
+				// (Engine.Snapshot() *Snapshot, Dist.Clone() *Dist), or
+				// the receiver itself is a carrier being restored
+				// (LiveSnapshot.Resume() *Live). Methods that merely
+				// share the name prefix (Config.SnapshotReplay running
+				// an experiment) are not.
+				if tv, ok := pass.Info.Types[fn.Recv.List[0].Type]; ok {
+					recv := namedStructOf(tv.Type)
+					if recv != nil && (returnsType(pass, fn, recv) ||
+						returnsSnapshotCarrier(pass, fn) || isSnapshotCarrier(recv)) {
+						addFunc(tv.Type, fn)
+					}
+				}
+				continue
+			}
+			// Package-level helper: it audits a parameter struct T only
+			// when it demonstrably clones or restores it — it returns T
+			// (clone direction: cloneResult(*Result) *Result, or
+			// snapSeq(*seqState) SeqSnapshot, whose return carries the
+			// copied fields), or T itself is a snapshot-carrier struct
+			// being read back (FromSnapshot(*Snapshot, ...)). Plain
+			// config parameters of restore-style constructors
+			// (Restore(cfg Config)) are not clone targets.
+			if fn.Type.Params == nil {
+				continue
+			}
+			for _, p := range fn.Type.Params.List {
+				tv, ok := pass.Info.Types[p.Type]
+				if !ok {
+					continue
+				}
+				named := namedStructOf(tv.Type)
+				if named == nil {
+					continue
+				}
+				if returnsType(pass, fn, named) || returnsSnapshotCarrier(pass, fn) ||
+					isSnapshotCarrier(named) {
+					addFunc(tv.Type, fn)
+				}
+			}
+			// A restore-style constructor (FromSnapshot(*Snapshot) *Engine)
+			// is part of the returned struct's clone path too: the fields
+			// it rebuilds count as handled. Only applies when a snapshot
+			// carrier is actually being read back — Restore(cfg Config)
+			// building a fresh Session is construction, not cloning.
+			if hasSnapshotCarrierParam(pass, fn) && fn.Type.Results != nil {
+				for _, r := range fn.Type.Results.List {
+					if tv, ok := pass.Info.Types[r.Type]; ok {
+						addFunc(tv.Type, fn)
+					}
+				}
+			}
+		}
+	}
+
+	names := make([]*types.TypeName, 0, len(targets))
+	for tn := range targets {
+		names = append(names, tn)
+	}
+	sort.Slice(names, func(i, j int) bool { return names[i].Pos() < names[j].Pos() })
+	for _, tn := range names {
+		checkSnapTarget(pass, targets[tn])
+	}
+	return nil
+}
+
+func checkSnapTarget(pass *Pass, tgt *snapTarget) {
+	n := tgt.strct.NumFields()
+	if n == 0 {
+		return
+	}
+	fieldIdx := map[*types.Var]int{}
+	for i := 0; i < n; i++ {
+		fieldIdx[tgt.strct.Field(i)] = i
+	}
+	covered := make([]bool, n)
+	wholesale := false
+	named, ok := tgt.name.Type().(*types.Named)
+	if !ok {
+		return
+	}
+	for _, fn := range tgt.funcs {
+		ast.Inspect(fn.Body, func(node ast.Node) bool {
+			switch node := node.(type) {
+			case *ast.Ident:
+				// Selector .Sel idents and keyed-literal field keys both
+				// resolve, via Uses, to the field object they touch.
+				if v, ok := pass.Info.Uses[node].(*types.Var); ok {
+					if i, ok := fieldIdx[v]; ok {
+						covered[i] = true
+					}
+				}
+			case *ast.SelectorExpr:
+				// Promoted selections through an embedded field cover the
+				// embedded field itself.
+				if i, ok := promotedFieldHop(pass, node, named); ok && i < len(covered) {
+					covered[i] = true
+				}
+			case *ast.StarExpr:
+				// n := *r — a wholesale value copy of the struct.
+				if tv, ok := pass.Info.Types[node]; ok && namedStructOf(tv.Type) == named {
+					if _, isPtr := tv.Type.Underlying().(*types.Pointer); !isPtr {
+						wholesale = true
+					}
+				}
+			case *ast.AssignStmt:
+				// clone := d — value-receiver wholesale copy.
+				for _, rhs := range node.Rhs {
+					if id, ok := rhs.(*ast.Ident); ok {
+						if tv, ok := pass.Info.Types[id]; ok && namedStructOf(tv.Type) == named {
+							if _, isPtr := tv.Type.Underlying().(*types.Pointer); !isPtr {
+								wholesale = true
+							}
+						}
+					}
+				}
+			}
+			return true
+		})
+	}
+
+	sort.Strings(tgt.fnames)
+	for i := 0; i < n; i++ {
+		if covered[i] {
+			continue
+		}
+		field := tgt.strct.Field(i)
+		if wholesale && !aliases(field.Type(), nil) {
+			continue // copied by value, nothing to deep-copy
+		}
+		f := fileFor(pass, field.Pos())
+		if f != nil {
+			reason, waived := pass.waiverAt(f, field.Pos(), DirSnapshotIgnore)
+			if waived && reason != "" {
+				continue
+			}
+			if waived {
+				pass.Reportf(field.Pos(),
+					"//%s waiver on %s.%s needs a justification", DirSnapshotIgnore, tgt.name.Name(), field.Name())
+				continue
+			}
+		}
+		pass.Reportf(field.Pos(),
+			"field %s.%s is not handled by its snapshot/clone path (%s): copy it or waive with //%s <reason>",
+			tgt.name.Name(), field.Name(), strings.Join(tgt.fnames, ", "), DirSnapshotIgnore)
+	}
+}
+
+// promotedFieldHop returns the direct-field index a selection on the
+// named struct steps through. A single-hop selection counts only when it
+// selects a field; a multi-hop (promoted) selection's first hop is
+// always a field of the outer struct. Direct method selections (whose
+// single index is a method-set position) never count.
+func promotedFieldHop(pass *Pass, sel *ast.SelectorExpr, named *types.Named) (int, bool) {
+	s, ok := pass.Info.Selections[sel]
+	if !ok || namedStructOf(s.Recv()) != named || len(s.Index()) == 0 {
+		return 0, false
+	}
+	if len(s.Index()) == 1 {
+		if _, isField := s.Obj().(*types.Var); !isField {
+			return 0, false
+		}
+	}
+	return s.Index()[0], true
+}
+
+// returnsType reports whether fn returns named (or a pointer to it).
+func returnsType(pass *Pass, fn *ast.FuncDecl, named *types.Named) bool {
+	if fn.Type.Results == nil {
+		return false
+	}
+	for _, r := range fn.Type.Results.List {
+		if tv, ok := pass.Info.Types[r.Type]; ok && namedStructOf(tv.Type) == named {
+			return true
+		}
+	}
+	return false
+}
+
+// isSnapshotCarrier reports whether the named struct is, by name, a
+// serialized-state carrier (Snapshot, SeqSnapshot, LiveSnapshot,
+// CheckpointFile, ...).
+func isSnapshotCarrier(named *types.Named) bool {
+	l := strings.ToLower(named.Obj().Name())
+	return strings.Contains(l, "snapshot") || strings.Contains(l, "checkpoint")
+}
+
+func returnsSnapshotCarrier(pass *Pass, fn *ast.FuncDecl) bool {
+	if fn.Type.Results == nil {
+		return false
+	}
+	for _, r := range fn.Type.Results.List {
+		if tv, ok := pass.Info.Types[r.Type]; ok {
+			if named := namedStructOf(tv.Type); named != nil && isSnapshotCarrier(named) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func hasSnapshotCarrierParam(pass *Pass, fn *ast.FuncDecl) bool {
+	if fn.Type.Params == nil {
+		return false
+	}
+	for _, p := range fn.Type.Params.List {
+		if tv, ok := pass.Info.Types[p.Type]; ok {
+			if named := namedStructOf(tv.Type); named != nil && isSnapshotCarrier(named) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// namedStructOf unwraps pointers and returns the named type when t is a
+// named struct (or pointer to one), else nil.
+func namedStructOf(t types.Type) *types.Named {
+	if t == nil {
+		return nil
+	}
+	if ptr, ok := t.Underlying().(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return nil
+	}
+	if _, ok := named.Underlying().(*types.Struct); !ok {
+		return nil
+	}
+	return named
+}
+
+// aliases reports whether a value of type t shares state with its copy
+// (so a wholesale struct copy is not a faithful clone of it).
+func aliases(t types.Type, seen map[types.Type]bool) bool {
+	if seen[t] {
+		return false
+	}
+	if seen == nil {
+		seen = map[types.Type]bool{}
+	}
+	seen[t] = true
+	switch u := t.Underlying().(type) {
+	case *types.Pointer, *types.Slice, *types.Map, *types.Chan, *types.Signature, *types.Interface:
+		return true
+	case *types.Array:
+		return aliases(u.Elem(), seen)
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			if aliases(u.Field(i).Type(), seen) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// fileFor returns the syntax file containing pos.
+func fileFor(pass *Pass, pos token.Pos) *ast.File {
+	for _, f := range pass.Files {
+		if f.FileStart <= pos && pos < f.FileEnd {
+			return f
+		}
+	}
+	return nil
+}

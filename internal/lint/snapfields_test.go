@@ -1,0 +1,7 @@
+package lint
+
+import "testing"
+
+func TestSnapfields(t *testing.T) {
+	runAnalyzerTest(t, NewSnapfields(), "snap", "example.com/snap")
+}

@@ -1,0 +1,167 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// NewSteadystate builds the steadystate analyzer: functions annotated
+// //dynamolint:steadystate (the tick loop, the engine clock-event path,
+// the KV/tier swap path) must not execute constructs from the
+// allocation blacklist — fmt calls, string concatenation, map/slice
+// literals and makes, new, escaping &T{} literals, closures, appends to
+// fresh slices, and string<->[]byte conversions. A cold sub-path (error
+// construction, one-time growth) is waived line-by-line with
+// //dynamolint:alloc-ok <reason>. This extends the single-scenario
+// TestTickLoopAllocationFree assertion to every annotated path at
+// compile time.
+func NewSteadystate() *Analyzer {
+	a := &Analyzer{
+		Name: "steadystate",
+		Doc:  "functions annotated //dynamolint:steadystate must avoid the allocation blacklist or waive lines with //dynamolint:alloc-ok",
+	}
+	a.Run = runSteadystate
+	return a
+}
+
+func runSteadystate(pass *Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			if _, annotated := pass.funcDirective(f, fn, DirSteadyState); !annotated {
+				continue
+			}
+			checkSteadyFunc(pass, f, fn)
+		}
+	}
+	return nil
+}
+
+func checkSteadyFunc(pass *Pass, f *ast.File, fn *ast.FuncDecl) {
+	report := func(pos token.Pos, format string, args ...any) {
+		reason, waived := pass.waiverAt(f, pos, DirAllocOK)
+		if waived && reason != "" {
+			return
+		}
+		if waived {
+			pass.Reportf(pos, "//%s waiver needs a justification", DirAllocOK)
+			return
+		}
+		args = append(args, fn.Name.Name, DirAllocOK)
+		pass.Reportf(pos, format+" in steady-state func %s: hoist, pool, or waive with //%s <reason>", args...)
+	}
+	ast.Inspect(fn.Body, func(node ast.Node) bool {
+		switch node := node.(type) {
+		case *ast.CallExpr:
+			checkSteadyCall(pass, report, node)
+		case *ast.BinaryExpr:
+			if node.Op == token.ADD && isStringType(pass, node) {
+				report(node.OpPos, "string concatenation allocates")
+			}
+		case *ast.AssignStmt:
+			if node.Tok == token.ADD_ASSIGN && len(node.Lhs) == 1 && isStringType(pass, node.Lhs[0]) {
+				report(node.TokPos, "string concatenation allocates")
+			}
+		case *ast.CompositeLit:
+			if tv, ok := pass.Info.Types[node]; ok {
+				switch tv.Type.Underlying().(type) {
+				case *types.Map:
+					report(node.Pos(), "map literal allocates")
+				case *types.Slice:
+					report(node.Pos(), "slice literal allocates")
+				}
+			}
+		case *ast.UnaryExpr:
+			if node.Op == token.AND {
+				if _, ok := node.X.(*ast.CompositeLit); ok {
+					report(node.Pos(), "&composite literal allocates when it escapes")
+				}
+			}
+		case *ast.FuncLit:
+			report(node.Pos(), "closure allocates")
+			return false // the closure body runs under its own budget
+		}
+		return true
+	})
+}
+
+func checkSteadyCall(pass *Pass, report func(token.Pos, string, ...any), call *ast.CallExpr) {
+	// Conversions: string([]byte) and []byte(string) copy their operand.
+	if tv, ok := pass.Info.Types[call.Fun]; ok && tv.IsType() && len(call.Args) == 1 {
+		if isStringByteConv(pass, tv.Type, call.Args[0]) {
+			report(call.Pos(), "string<->[]byte conversion allocates")
+		}
+		return
+	}
+	if member, ok := isPkgSelector(pass.Info, call.Fun, "fmt"); ok {
+		report(call.Pos(), "fmt."+member+" allocates")
+		return
+	}
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok {
+		return
+	}
+	if b, isBuiltin := pass.Info.Uses[id].(*types.Builtin); isBuiltin {
+		switch b.Name() {
+		case "make":
+			report(call.Pos(), "make allocates")
+		case "new":
+			report(call.Pos(), "new allocates")
+		case "append":
+			// Appending onto an existing, pooled slice is amortized-free
+			// in steady state; appending onto nil or a fresh literal is a
+			// guaranteed allocation.
+			if len(call.Args) > 0 {
+				switch base := call.Args[0].(type) {
+				case *ast.Ident:
+					if base.Name == "nil" {
+						report(call.Pos(), "append to nil allocates")
+					}
+				case *ast.CompositeLit:
+					report(call.Pos(), "append to a fresh literal allocates")
+				}
+			}
+		}
+	}
+}
+
+func isStringType(pass *Pass, e ast.Expr) bool {
+	tv, ok := pass.Info.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	b, ok := tv.Type.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+// isStringByteConv reports whether converting arg to target crosses the
+// string/byte-slice boundary (either direction).
+func isStringByteConv(pass *Pass, target types.Type, arg ast.Expr) bool {
+	tv, ok := pass.Info.Types[arg]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	return (isStringOrBytes(target) && isStringOrBytes(tv.Type)) &&
+		isString(target) != isString(tv.Type)
+}
+
+func isString(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func isStringOrBytes(t types.Type) bool {
+	if isString(t) {
+		return true
+	}
+	s, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := s.Elem().Underlying().(*types.Basic)
+	return ok && (b.Kind() == types.Byte || b.Kind() == types.Rune)
+}

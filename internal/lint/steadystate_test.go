@@ -1,0 +1,7 @@
+package lint
+
+import "testing"
+
+func TestSteadystate(t *testing.T) {
+	runAnalyzerTest(t, NewSteadystate(), "steady", "example.com/steady")
+}

@@ -1,0 +1,31 @@
+// Package conserve is conserve test input: counter structs whose
+// invariant functions must reference every integer counter.
+package conserve
+
+import "fmt"
+
+// Result mirrors the simulator's counter bank.
+type Result struct {
+	Requests  int
+	Completed int
+	Dropped   int // want `counter Result\.Dropped is not checked by CheckInvariants`
+	//conserve:ignore diagnostic-only tally; no law relates it to the others
+	Probes int
+	//conserve:ignore
+	Bad int // want `waiver on Result\.Bad needs a justification`
+	// Name is not an integer counter and is never audited.
+	Name string
+}
+
+// CheckInvariants asserts the conservation laws over Result's counters.
+func (r *Result) CheckInvariants() error {
+	if r.Completed > r.Requests {
+		return fmt.Errorf("completed %d exceeds requests %d", r.Completed, r.Requests)
+	}
+	return nil
+}
+
+// Orphan is configured for auditing but has no invariant function.
+type Orphan struct { // want `no invariant function CheckOrphan`
+	N int
+}

@@ -1,0 +1,12 @@
+// A wallclock annotation cannot reclassify a deterministic package.
+//
+//dynamolint:wallclock but the Config says this package is deterministic
+
+package det // want `classified sim-deterministic`
+
+import "time"
+
+// StillWrong keeps reading real time despite the annotation.
+func StillWrong() time.Time {
+	return time.Now() // want `time\.Now in sim-deterministic package`
+}

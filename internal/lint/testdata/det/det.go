@@ -1,0 +1,59 @@
+// Package det is detrand test input: a package classified
+// sim-deterministic by the test Config.
+package det
+
+import (
+	"math/rand"
+	randv2 "math/rand/v2"
+	"time"
+)
+
+// Clock reads the wall clock, which deterministic code never may.
+func Clock() time.Time {
+	time.Sleep(time.Millisecond) // want `time\.Sleep in sim-deterministic package`
+	return time.Now()            // want `time\.Now in sim-deterministic package`
+}
+
+// Rand draws from the process-global generator; a locally seeded one is
+// the sanctioned replacement.
+func Rand() int {
+	r := rand.New(rand.NewSource(1)) // constructors build local state: fine
+	_ = r.Intn(10)
+	_ = randv2.IntN(3)   // want `global math/rand/v2\.IntN`
+	return rand.Intn(10) // want `global math/rand\.Intn`
+}
+
+// Maps exercises the map-iteration rule and its waiver grammar.
+func Maps(m map[string]int) int {
+	sum := 0
+	for _, v := range m { // want `map iteration order is random`
+		sum += v
+	}
+	//dynamolint:order-independent summation is commutative
+	for _, v := range m {
+		sum += v
+	}
+	//dynamolint:order-independent
+	for _, v := range m { // want `waiver needs a justification`
+		sum += v
+	}
+	for i := range []int{1, 2, 3} { // slices iterate in order: fine
+		sum += i
+	}
+	return sum
+}
+
+// Goroutines exercises the shared-capture rule: writes to captured
+// variables race, index-slotted writes do not.
+func Goroutines(results []int) {
+	total := 0
+	for i := range results {
+		go func() {
+			total += i // want `goroutine closure writes captured variable "total"`
+		}()
+		go func(slot int) {
+			results[slot] = slot // index-slotted write: fine
+		}(i)
+	}
+	_ = total
+}

@@ -1,0 +1,74 @@
+// Package snap is snapfields test input: structs on the snapshot/clone
+// graph whose clone paths drop, waive, or cover their fields.
+package snap
+
+// S is cloned field-by-field; C was forgotten.
+type S struct {
+	A int
+	B []int
+	C string // want `field S\.C is not handled by its snapshot/clone path \(Clone\)`
+	//snapshot:ignore scratch; rebuilt lazily on first use
+	scratch []byte
+	//snapshot:ignore
+	bad int // want `waiver on S\.bad needs a justification`
+}
+
+// Clone copies S explicitly.
+func (s *S) Clone() *S {
+	return &S{A: s.A, B: append([]int(nil), s.B...)}
+}
+
+// W clones by wholesale copy: value fields are covered by the copy
+// itself, aliasing fields still need a deep copy (Big was forgotten).
+type W struct {
+	N    int
+	Big  []float64 // want `field W\.Big is not handled by its snapshot/clone path \(CloneW\)`
+	Deep map[string]int
+}
+
+// CloneW is W's clone path.
+func CloneW(w *W) *W {
+	nw := *w
+	nw.Deep = make(map[string]int, len(w.Deep))
+	for k, v := range w.Deep {
+		nw.Deep[k] = v
+	}
+	return &nw
+}
+
+// TSnapshot is T's carrier: Snap covers x and y but forgot z.
+type TSnapshot struct {
+	X int
+	Y int
+}
+
+// T is snapshotted through TSnapshot.
+type T struct {
+	x int
+	y int
+	z int // want `field T\.z is not handled by its snapshot/clone path \(Snap\)`
+}
+
+// Snap writes T into its carrier.
+func (t *T) Snap() *TSnapshot {
+	return &TSnapshot{X: t.x, Y: t.y}
+}
+
+// ESnapshot carries E's persisted state.
+type ESnapshot struct {
+	A int
+	B int
+}
+
+// E is restored from ESnapshot; the restore constructor's writes count
+// as coverage, and the callback is waived by design.
+type E struct {
+	a      int
+	b      int
+	notify func() //snapshot:ignore callback; the owner re-binds it after restore
+}
+
+// RestoreE rebuilds E from its snapshot.
+func RestoreE(s *ESnapshot) *E {
+	return &E{a: s.A, b: s.B}
+}

@@ -1,0 +1,51 @@
+// Package steady is steadystate test input: one annotated hot function
+// exercising the allocation blacklist, one unannotated function the
+// analyzer must leave alone.
+package steady
+
+import "fmt"
+
+type pool struct {
+	buf []int
+}
+
+// hot is annotated as steady-state: every blacklisted construct in its
+// body must be flagged unless a justified alloc-ok waiver governs it.
+//
+//dynamolint:steadystate
+func (p *pool) hot(n int, a, b string) int {
+	s := fmt.Sprintf("%d", n) // want `fmt\.Sprintf allocates`
+	_ = s
+	m := make([]int, n) // want `make allocates`
+	q := new(pool)      // want `new allocates`
+	_ = q
+	_ = map[string]int{}   // want `map literal allocates`
+	_ = []int{1}           // want `slice literal allocates`
+	_ = append([]int{}, n) // want `slice literal allocates` `append to a fresh literal allocates`
+	h := &pool{}           // want `&composite literal allocates when it escapes`
+	_ = h
+	cb := func() int { return n } // want `closure allocates`
+	_ = cb
+	c := a + b // want `string concatenation allocates`
+	c += a     // want `string concatenation allocates`
+	_ = c
+	raw := []byte(a) // want `string<->\[\]byte conversion allocates`
+	_ = raw
+	p.buf = append(p.buf, n) // appending onto the pooled slice: fine
+	//dynamolint:alloc-ok
+	bad := make([]int, 2) // want `waiver needs a justification`
+	_ = bad
+	//dynamolint:alloc-ok one-time growth; runs only when the pool is cold
+	grown := make([]int, 4)
+	_ = grown
+	total := 0
+	for _, v := range p.buf {
+		total += v
+	}
+	return total + len(m)
+}
+
+// cold carries no annotation, so the blacklist does not apply.
+func (p *pool) cold() []int {
+	return make([]int, 8)
+}

@@ -1,0 +1,10 @@
+//dynamolint:wallclock this file paces virtual time against the real clock
+
+package wall
+
+import "time"
+
+// Annotated may read real time: its file carries a justified annotation.
+func Annotated() time.Time {
+	return time.Now()
+}

@@ -1,0 +1,3 @@
+//dynamolint:wallclock
+
+package wall // want `annotation needs a justification`

@@ -1,0 +1,10 @@
+// Package wall is detrand test input: a declared wall-clock package
+// whose files must still opt in file-by-file.
+package wall
+
+import "time"
+
+// Unannotated reads real time in a file without the opt-in annotation.
+func Unannotated() time.Time {
+	return time.Now() // want `annotate the file with`
+}

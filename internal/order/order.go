@@ -1,0 +1,36 @@
+// Package order provides deterministic map-iteration helpers for the
+// sim-deterministic packages. Go randomizes map iteration order per run;
+// any map range whose effect can reach simulation output must instead
+// walk Keys(m), which is stable across runs and processes. The detrand
+// analyzer (internal/lint) enforces this: a bare map range in a
+// deterministic package is a lint error unless waived as provably
+// order-independent.
+package order
+
+import (
+	"cmp"
+	"slices"
+)
+
+// Keys returns m's keys sorted ascending.
+func Keys[K cmp.Ordered, V any](m map[K]V) []K {
+	ks := make([]K, 0, len(m))
+	//dynamolint:order-independent collecting keys into a slice that is sorted before use
+	for k := range m {
+		ks = append(ks, k)
+	}
+	slices.Sort(ks)
+	return ks
+}
+
+// SortedFunc returns m's keys sorted by the given comparison function,
+// for key types without a natural order.
+func SortedFunc[K comparable, V any](m map[K]V, less func(a, b K) int) []K {
+	ks := make([]K, 0, len(m))
+	//dynamolint:order-independent collecting keys into a slice that is sorted before use
+	for k := range m {
+		ks = append(ks, k)
+	}
+	slices.SortFunc(ks, less)
+	return ks
+}

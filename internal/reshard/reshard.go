@@ -245,6 +245,7 @@ func PlanReshard(current Layout, target Config) Plan {
 		}
 	}
 	makespan := 0
+	//dynamolint:order-independent max over values; comparison order cannot change the max
 	for _, l := range pairLoad {
 		if l > makespan {
 			makespan = l

@@ -30,6 +30,7 @@ import (
 	"sort"
 
 	"dynamollm/internal/core"
+	"dynamollm/internal/order"
 	"dynamollm/internal/simclock"
 	"dynamollm/internal/trace"
 	"dynamollm/internal/workload"
@@ -173,6 +174,7 @@ func ValidateEvent(e Event) error {
 		e.SLOFactor, e.MTBFHours, e.RepairHours, e.SlowFactor, e.DelaySeconds) {
 		return fmt.Errorf("numeric fields must be finite")
 	}
+	//dynamolint:order-independent every bad weight yields the same error; order cannot change it
 	for _, w := range e.ClassWeights {
 		if badNum(w) || w < 0 {
 			return fmt.Errorf("class_weights must be finite and non-negative")
@@ -199,7 +201,9 @@ func ValidateEvent(e Event) error {
 		if len(e.ClassWeights) == 0 {
 			return fmt.Errorf("class_weights must name at least one class")
 		}
-		for name := range e.ClassWeights {
+		// Sorted so a scenario with several bad class names reports the
+		// same one every run.
+		for _, name := range order.Keys(e.ClassWeights) {
 			if _, err := workload.ParseClass(name); err != nil {
 				return err
 			}
@@ -419,12 +423,14 @@ func (s *Scenario) ApplyTrace(tr trace.Trace, seed uint64) trace.Trace {
 			mods = append(mods, trace.AmplifyWindow(from, to, e.RateMult, evSeed))
 		case MixShift:
 			var w [workload.NumClasses]float64
-			for name, weight := range e.ClassWeights {
+			// Sorted so two aliases of the same class resolve their
+			// last-write-wins race identically every run.
+			for _, name := range order.Keys(e.ClassWeights) {
 				cls, err := workload.ParseClass(name)
 				if err != nil {
 					continue // Validate rejects this before simulation
 				}
-				w[cls] = weight
+				w[cls] = e.ClassWeights[name]
 			}
 			frac := e.Fraction
 			if frac <= 0 {

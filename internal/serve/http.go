@@ -1,3 +1,5 @@
+//dynamolint:wallclock request timeouts are measured against the caller's real clock, not virtual time
+
 package serve
 
 import (

@@ -1,3 +1,5 @@
+//dynamolint:wallclock the session pacer deliberately tracks the wall clock to pace virtual time
+
 // Package serve is the live serving control plane (§IV-E made long-lived):
 // a Session wraps the cluster simulation in an incrementally advanced,
 // wall-clock-paced loop — virtual time tracks the wall clock at a fixed

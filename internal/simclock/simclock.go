@@ -1,3 +1,5 @@
+//dynamolint:wallclock Pacer is the one sanctioned bridge from wall-clock to virtual time
+
 // Package simclock provides a discrete-event simulation kernel: a virtual
 // clock, a priority event queue, and deterministic random-number streams.
 //

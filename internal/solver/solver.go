@@ -261,6 +261,7 @@ func evaluate(p *profile.Profile, cls workload.Class, counts map[model.TP]int, l
 						continue
 					}
 					trial := map[model.TP]float64{}
+					//dynamolint:order-independent map-to-map rebuild; the result is keyed, not ordered
 					for k, v := range share {
 						trial[k] = v
 					}

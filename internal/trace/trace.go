@@ -25,6 +25,7 @@ import (
 	"strconv"
 	"strings"
 
+	"dynamollm/internal/order"
 	"dynamollm/internal/simclock"
 	"dynamollm/internal/workload"
 )
@@ -306,8 +307,12 @@ func (tr Trace) Summarize() Stats {
 	for i := range st.ClassShare {
 		st.ClassShare[i] /= float64(st.Requests)
 	}
+	// Sorted keys: the float sum below rounds differently per visit
+	// order, so a bare map range would leak map randomization into
+	// PeakOverAvg.
 	peak, valley, sum := 0.0, math.Inf(1), 0.0
-	for _, v := range hourly {
+	for _, k := range order.Keys(hourly) {
+		v := hourly[k]
 		if v > peak {
 			peak = v
 		}
@@ -333,11 +338,7 @@ func (tr Trace) TokenRate(bucketSeconds float64) []struct{ Time, TPS float64 } {
 	for _, e := range tr {
 		buckets[int(float64(e.At)/bucketSeconds)] += float64(e.InputTokens + e.OutputTokens)
 	}
-	keys := make([]int, 0, len(buckets))
-	for k := range buckets {
-		keys = append(keys, k)
-	}
-	sort.Ints(keys)
+	keys := order.Keys(buckets)
 	out := make([]struct{ Time, TPS float64 }, len(keys))
 	for i, k := range keys {
 		out[i].Time = float64(k) * bucketSeconds

@@ -1,0 +1,38 @@
+#!/usr/bin/env bash
+# Self-test for the dynamolint gate: inject a time.Now() read into a
+# sim-deterministic package and assert the linter rejects it with the
+# right diagnostic. This guards the gate itself against silently rotting
+# into a no-op (package-classification drift, analyzer registration
+# typo, exit-code regression) — a lint suite that cannot fail is not a
+# gate.
+set -u
+cd "$(dirname "$0")/.."
+
+viol=internal/core/zz_lint_selftest_violation.go
+trap 'rm -f "$viol"' EXIT
+
+cat > "$viol" <<'EOF'
+package core
+
+import "time"
+
+// zzLintSelftestViolation exists only while scripts/lint_selftest.sh
+// runs; dynamolint (detrand) must reject it.
+func zzLintSelftestViolation() time.Time { return time.Now() }
+EOF
+
+out="$(go run ./cmd/dynamolint ./internal/core 2>&1)"
+status=$?
+
+if [ "$status" -eq 0 ]; then
+    echo "lint-selftest: FAIL: dynamolint accepted a time.Now() in internal/core"
+    exit 1
+fi
+if ! printf '%s\n' "$out" | grep -q 'time\.Now in sim-deterministic package'; then
+    echo "lint-selftest: FAIL: dynamolint rejected the probe for the wrong reason:"
+    printf '%s\n' "$out"
+    exit 1
+fi
+
+echo "lint-selftest: OK — injected violation rejected:"
+printf '%s\n' "$out" | grep zz_lint_selftest_violation
